@@ -1,0 +1,58 @@
+"""Ablation: shared vs partitioned metadata cache (§III-D).
+
+The paper notes the metadata cache could be "partitioned ... to
+equitably distribute the cache capacity" between MECB, FECB and
+Merkle-tree lines.  This ablation runs both organisations at equal total
+capacity on a real workload and an adversarial micro.
+
+Expected: the shared organisation wins or ties on these workloads —
+their MECB:FECB demand is naturally balanced (every DAX page needs one
+of each), so static partitioning mostly strands capacity; partitioning
+would only pay off under pathological interference.
+"""
+
+from dataclasses import replace
+
+from repro.secmem import MetadataCacheConfig
+from repro.sim import MachineConfig, Scheme
+from repro.workloads import compare_schemes, make_dax_micro, make_pmemkv_workload
+
+
+def run_pair(partitioned: bool):
+    base = MachineConfig()
+    config = base._replace(
+        metadata_cache=replace(base.metadata_cache, partitioned=partitioned)
+    )
+    rows = {}
+    for factory in (
+        lambda: make_pmemkv_workload("Fillrandom-L", ops=300),
+        lambda: make_dax_micro("DAX-2", iterations=5000),
+    ):
+        comparison = compare_schemes(
+            factory, config=config, schemes=(Scheme.BASELINE_SECURE, Scheme.FSENCR)
+        )
+        row = comparison.against(Scheme.BASELINE_SECURE, Scheme.FSENCR)
+        rows[row.workload] = row.overhead_percent
+    return rows
+
+
+def sweep():
+    return {"shared": run_pair(False), "partitioned": run_pair(True)}
+
+
+def test_ablation_metadata_cache_partitioning(benchmark, results_dir):
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print()
+    print(f"{'organisation':<14}" + "".join(f"{w:>16}" for w in results["shared"]))
+    for organisation, rows in results.items():
+        print(f"{organisation:<14}" + "".join(f"{v:>15.2f}%" for v in rows.values()))
+
+    # Both organisations must stay in the sane FsEncr band.
+    for rows in results.values():
+        for workload, overhead in rows.items():
+            assert -2.0 < overhead < 40.0, f"{workload}: {overhead}% out of band"
+
+    benchmark.extra_info["results"] = {
+        org: {w: round(v, 2) for w, v in rows.items()} for org, rows in results.items()
+    }

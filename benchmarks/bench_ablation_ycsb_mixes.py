@@ -1,0 +1,50 @@
+"""Ablation: FsEncr overhead vs read/write mix (YCSB A/B/C/D).
+
+The paper observes that "write-intensive persistent benchmarks have
+higher overheads compared to read-intensive applications" because every
+write must be persisted and bumps counters on both layers.  The YCSB
+core-workload ladder makes that a single controlled knob: A (50 %
+reads) -> B (95 %) -> C (100 %).
+
+Expected: FsEncr's slowdown and write amplification decrease
+monotonically (within noise) as the mix gets more read-heavy, vanishing
+at YCSB-C.
+"""
+
+from repro.sim import Scheme
+from repro.workloads import compare_schemes
+from repro.workloads.whisper import YcsbWorkload
+
+
+def run_mixes():
+    rows = {}
+    for mix in ("A", "B", "C", "D"):
+        comparison = compare_schemes(
+            lambda m=mix: YcsbWorkload(ops=1500, mix=m),
+            schemes=(Scheme.BASELINE_SECURE, Scheme.FSENCR),
+        )
+        row = comparison.against(Scheme.BASELINE_SECURE, Scheme.FSENCR)
+        rows[mix] = row
+    return rows
+
+
+def test_ablation_ycsb_mixes(benchmark, results_dir):
+    rows = benchmark.pedantic(run_mixes, rounds=1, iterations=1)
+
+    print()
+    print(f"{'mix':<6}{'read ratio':>11}{'slowdown':>10}{'writes':>9}")
+    from repro.workloads.whisper import YCSB_MIXES
+
+    for mix, row in rows.items():
+        print(f"{mix:<6}{YCSB_MIXES[mix]:>11.2f}{row.slowdown:>10.3f}"
+              f"{row.normalized_writes:>9.3f}")
+
+    # Write-heavier mixes must not be cheaper than read-mostly ones.
+    assert rows["A"].slowdown >= rows["B"].slowdown - 0.02
+    assert rows["B"].slowdown >= rows["C"].slowdown - 0.02
+    # Read-only: essentially free (the paper's read benchmarks story).
+    assert rows["C"].slowdown < 1.05
+
+    benchmark.extra_info["slowdowns"] = {
+        mix: round(row.slowdown, 4) for mix, row in rows.items()
+    }

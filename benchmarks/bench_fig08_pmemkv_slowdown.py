@@ -1,0 +1,33 @@
+"""Figure 8: PMEMKV slowdown — FsEncr normalised to baseline security.
+
+Paper: small single-digit-percent slowdowns for most PMEMKV benchmarks
+(part of the overall 3.8% average across persistent workloads), with
+write benchmarks above read benchmarks (persist-path pressure) and
+``-L`` value sizes above ``-S`` (poorer metadata-cache utilisation: one
+counter line covers 64 x 64 B values but only one 4 KB value).
+"""
+
+from repro.analysis import figure8_to_10_pmemkv
+
+
+def test_fig08_pmemkv_slowdown(benchmark, results_dir, pmemkv_table):
+    table = benchmark.pedantic(lambda: pmemkv_table, rounds=1, iterations=1)
+    print()
+    print(table.render())
+    table.save_json(results_dir / "fig08_09_10.json")
+
+    by_name = {row.workload: row for row in table.rows}
+
+    # FsEncr must stay in "percent" territory, not "multiples".
+    assert table.mean("slowdown") < 1.25
+    for row in table.rows:
+        assert row.slowdown < 1.4, f"{row.workload}: FsEncr overhead out of band"
+        assert row.slowdown > 0.97, f"{row.workload}: suspicious speedup"
+
+    # Write benchmarks hurt more than read benchmarks.
+    fill_mean = (by_name["Fillrandom-S"].slowdown + by_name["Fillseq-S"].slowdown) / 2
+    read_mean = (by_name["Readrandom-S"].slowdown + by_name["Readseq-S"].slowdown) / 2
+    assert fill_mean > read_mean
+
+    benchmark.extra_info["mean_slowdown"] = table.mean("slowdown")
+    benchmark.extra_info["paper_overall_mean"] = 1.038

@@ -1,0 +1,25 @@
+"""Figure 9: PMEMKV NVM writes — FsEncr normalised to baseline.
+
+Paper: FsEncr adds write traffic from FECB/Merkle metadata write-backs
+and Osiris persists of the file counters — noticeable on write-heavy
+benchmarks, near-nil on read benchmarks.
+"""
+
+from repro.analysis import figure8_to_10_pmemkv
+
+
+def test_fig09_pmemkv_writes(benchmark, results_dir, pmemkv_table):
+    table = benchmark.pedantic(lambda: pmemkv_table, rounds=1, iterations=1)
+    print()
+    print(table.render())
+
+    by_name = {row.workload: row for row in table.rows}
+    write_benches = ["Fillrandom-S", "Fillrandom-L", "Fillseq-S", "Fillseq-L",
+                     "Overwrite-S", "Overwrite-L"]
+    for name in write_benches:
+        row = by_name[name]
+        assert 1.0 <= row.normalized_writes < 1.6, (
+            f"{name}: write amplification {row.normalized_writes} out of band"
+        )
+
+    benchmark.extra_info["mean_normalized_writes"] = table.mean("normalized_writes")

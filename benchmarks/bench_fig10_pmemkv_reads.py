@@ -1,0 +1,29 @@
+"""Figure 10: PMEMKV NVM reads — FsEncr normalised to baseline.
+
+Paper: extra reads come from FECB fetches and the deeper Merkle walks on
+metadata misses; random-access benchmarks show more than sequential
+(less counter-line reuse), and -S fills more than -L fills in relative
+terms (more distinct counter lines per byte of payload).
+"""
+
+from repro.analysis import figure8_to_10_pmemkv
+
+
+def test_fig10_pmemkv_reads(benchmark, results_dir, pmemkv_table):
+    table = benchmark.pedantic(lambda: pmemkv_table, rounds=1, iterations=1)
+    print()
+    print(table.render())
+
+    for row in table.rows:
+        if row.normalized_reads > 0:  # pure-write phases may read ~nothing
+            assert 0.95 <= row.normalized_reads < 1.6, (
+                f"{row.workload}: read amplification {row.normalized_reads} out of band"
+            )
+
+    by_name = {row.workload: row for row in table.rows}
+    assert (
+        by_name["Fillrandom-S"].normalized_reads
+        >= by_name["Fillseq-S"].normalized_reads - 0.02
+    ), "random fills should see at least sequential fills' extra reads"
+
+    benchmark.extra_info["mean_normalized_reads"] = table.mean("normalized_reads")

@@ -1,0 +1,29 @@
+"""Figure 12: synthetic DAX micro-benchmark slowdowns under FsEncr.
+
+Paper: ~20.03% average across DAX-1..4 — the adversarial upper bound, an
+order of magnitude above the real workloads, because these micros have
+no compute to hide behind and minimal metadata-cache reuse.
+
+Shape expectations: DAX-2 > DAX-1 (the 128 B stride touches twice the
+lines per counter line the 16 B stride does), and the swap micros sit at
+the high end (random placement defeats metadata caching).
+"""
+
+from repro.analysis import figure12_to_14_micro
+
+
+def test_fig12_micro_slowdown(benchmark, results_dir, micro_table):
+    table = benchmark.pedantic(lambda: micro_table, rounds=1, iterations=1)
+    print()
+    print(table.render())
+    table.save_json(results_dir / "fig12_13_14.json")
+
+    by_name = {row.workload: row for row in table.rows}
+    assert by_name["DAX-2"].slowdown > by_name["DAX-1"].slowdown
+    for row in table.rows:
+        assert 1.0 <= row.slowdown < 1.6, f"{row.workload}: out of band"
+    # Micros must hurt more than the real workloads' few percent.
+    assert table.mean("slowdown") > 1.05
+
+    benchmark.extra_info["mean_slowdown"] = table.mean("slowdown")
+    benchmark.extra_info["paper_mean"] = 1.2003

@@ -1,0 +1,25 @@
+"""Figure 13: synthetic micro NVM writes under FsEncr.
+
+Paper: the swap micros (DAX-3/4) add metadata write-backs; DAX-3's
+smaller arrays dirty more FECB/MECB lines per byte moved than DAX-4's
+(less sequential reuse within one counter block), so its relative write
+amplification is the higher of the two.
+"""
+
+from repro.analysis import figure12_to_14_micro
+
+
+def test_fig13_micro_writes(benchmark, results_dir, micro_table):
+    table = benchmark.pedantic(lambda: micro_table, rounds=1, iterations=1)
+    print()
+    print(table.render())
+
+    by_name = {row.workload: row for row in table.rows}
+    for name in ("DAX-3", "DAX-4"):
+        assert by_name[name].normalized_writes >= 1.0
+    assert (
+        by_name["DAX-3"].normalized_writes >= by_name["DAX-4"].normalized_writes - 0.05
+    )
+
+    benchmark.extra_info["dax3_writes"] = by_name["DAX-3"].normalized_writes
+    benchmark.extra_info["dax4_writes"] = by_name["DAX-4"].normalized_writes

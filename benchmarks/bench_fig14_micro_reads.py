@@ -1,0 +1,22 @@
+"""Figure 14: synthetic micro NVM reads under FsEncr.
+
+Paper: random-placement micros (DAX-3/4) read extra metadata on each
+cold arrival; the streaming micros (DAX-1/2) amortise their counter
+fetches over a page's worth of touches, so their read amplification is
+mild.
+"""
+
+from repro.analysis import figure12_to_14_micro
+
+
+def test_fig14_micro_reads(benchmark, results_dir, micro_table):
+    table = benchmark.pedantic(lambda: micro_table, rounds=1, iterations=1)
+    print()
+    print(table.render())
+
+    by_name = {row.workload: row for row in table.rows}
+    for row in table.rows:
+        assert row.normalized_reads >= 0.95, f"{row.workload}: reads dropped?"
+    assert by_name["DAX-3"].normalized_reads > by_name["DAX-1"].normalized_reads
+
+    benchmark.extra_info["mean_normalized_reads"] = table.mean("normalized_reads")

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Multi-user protection: the paper's internal-attacker scenarios, live.
+
+Three stories from §VI, played end to end on a functional machine:
+
+1. **chmod 777** — Alice fat-fingers her encrypted file world-readable.
+   Bob passes the permission check, but his passphrase cannot unwrap
+   Alice's file key: the open is refused.
+2. **The curious admin** — root bypasses mode bits entirely... and still
+   cannot unwrap the FEK, because FEKEKs derive from user passphrases,
+   not from uid 0.
+3. **The OS-swap attack** — an intruder with physical access boots a
+   different OS.  The wrong admin credential locks the file-decryption
+   engine: memory encryption keeps the machine usable, but every DAX
+   file reads as ciphertext.
+
+Run:  python examples/multi_user_protection.py
+"""
+
+from repro import Machine, MachineConfig, Scheme
+from repro.fs import AccessDenied
+from repro.kernel import KeyringError
+
+
+def banner(text: str) -> None:
+    print(f"\n=== {text} ===")
+
+
+def main() -> None:
+    machine = Machine(MachineConfig(scheme=Scheme.FSENCR, functional=True))
+    alice = machine.add_user(uid=1000, gid=100, passphrase="alice-s3cret")
+    bob = machine.add_user(uid=2000, gid=200, passphrase="bob-pa55word")
+    root = machine.add_user(uid=0, gid=0, passphrase="root-of-all-evil")
+    admin_credential = machine.keyring.credential_digest("the-real-admin")
+    machine.mmio.admin_login(admin_credential)
+
+    banner("Alice creates an encrypted, private file")
+    machine.create_file("/pmem/payroll.db", uid=1000, mode=0o600, encrypted=True)
+    handle = machine.open_file("/pmem/payroll.db", uid=1000, write=True)
+    base = machine.mmap(handle, pages=1)
+    machine.store_bytes(base, b"payroll: alice=250000 bob=90000")
+    print("written: payroll data, sealed under Alice's file key")
+
+    banner("Story 1: chmod 777 by accident")
+    try:
+        machine.open_file("/pmem/payroll.db", uid=2000)
+    except AccessDenied as exc:
+        print(f"before the chmod, mode bits stop Bob: {exc}")
+    machine.chmod("/pmem/payroll.db", uid=1000, mode=0o777)
+    print("alice runs: chmod 777 /pmem/payroll.db   (oops)")
+    try:
+        machine.open_file("/pmem/payroll.db", uid=2000)
+        raise AssertionError("Bob got in!")
+    except KeyringError as exc:
+        print(f"mode bits now allow Bob, but the key check refuses him:")
+        print(f"  {exc}")
+
+    banner("Story 2: the curious admin")
+    try:
+        machine.open_file("/pmem/payroll.db", uid=0)
+        raise AssertionError("root read Alice's file!")
+    except KeyringError as exc:
+        print("root bypasses rwx bits, but cannot unwrap Alice's FEK:")
+        print(f"  {exc}")
+
+    banner("Story 3: boot with a different OS (wrong admin credential)")
+    intruder_credential = machine.keyring.credential_digest("stolen-guess")
+    accepted, _ = machine.mmio.admin_login(intruder_credential)
+    print(f"intruder's admin login accepted: {accepted}")
+    print(f"file-decryption engine locked: {machine.controller.locked}")
+    garbled = machine.load_bytes(base, 31)
+    print(f"reading Alice's file now yields: {garbled.hex()[:40]}...")
+    assert garbled != b"payroll: alice=250000 bob=90000"
+
+    banner("The rightful admin returns")
+    machine.mmio.admin_login(admin_credential)
+    recovered = machine.load_bytes(base, 31)
+    print(f"after the correct login: {recovered.decode()!r}")
+    assert recovered == b"payroll: alice=250000 bob=90000"
+    print("\nAll three internal-attack stories end the way §VI says they do.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: encrypted DAX files in five minutes.
+
+Builds an FsEncr machine in functional mode (real AES-CTR pads, real
+Merkle hashing), creates an encrypted file on the DAX filesystem, writes
+and reads through direct load/store — and then plays the attacker:
+pulls the DIMM and scans it, comparing against a machine with no
+filesystem encryption.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Machine, MachineConfig, Scheme
+
+
+def banner(text: str) -> None:
+    print(f"\n=== {text} ===")
+
+
+def main() -> None:
+    banner("Boot an FsEncr machine (functional mode)")
+    machine = Machine(MachineConfig(scheme=Scheme.FSENCR, functional=True))
+    machine.add_user(uid=1000, gid=100, passphrase="correct horse battery staple")
+    print("machine up: DAX filesystem mounted, FsEncr controller attached")
+
+    banner("Create an encrypted file and map it (DAX)")
+    handle = machine.create_file(
+        "/pmem/diary.txt", uid=1000, mode=0o600, encrypted=True
+    )
+    base = machine.mmap(handle, pages=1)
+    print(f"file ino={handle.inode.i_ino}, mapped at {base:#x}")
+
+    banner("Write and read through plain load/store")
+    secret = b"Dear diary: the DF-bit works and nobody can read you."
+    machine.store_bytes(base, secret)
+    read_back = machine.load_bytes(base, len(secret))
+    assert read_back == secret
+    print(f"read back: {read_back.decode()!r}")
+
+    banner("Attacker pulls the DIMM and scans it")
+    residue = b"".join(machine.controller.store.scan().values())
+    assert secret not in residue
+    print(f"scanned {len(residue)} bytes of NVM: plaintext NOT found")
+    print(f"sample ciphertext line: {residue[:32].hex()}...")
+
+    banner("Contrast: the same scan on an unencrypted ext4-dax machine")
+    plain = Machine(MachineConfig(scheme=Scheme.EXT4DAX_PLAIN, functional=True))
+    plain.add_user(uid=1000, gid=100, passphrase="irrelevant")
+    plain_handle = plain.create_file("/pmem/diary.txt", uid=1000)
+    plain_base = plain.mmap(plain_handle, pages=1)
+    plain.store_bytes(plain_base, secret)
+    plain_residue = b"".join(plain.controller.store.scan().values())
+    assert secret in plain_residue
+    print("plaintext FOUND on the unencrypted DIMM — this is what")
+    print("direct-access NVM looks like today, and why FsEncr exists.")
+
+    banner("The cost: one timing comparison")
+    from repro.workloads import make_whisper_workload, compare_schemes
+
+    comparison = compare_schemes(
+        lambda: make_whisper_workload("Hashmap", ops=600),
+        schemes=(Scheme.BASELINE_SECURE, Scheme.FSENCR),
+    )
+    row = comparison.against(Scheme.BASELINE_SECURE, Scheme.FSENCR)
+    print(f"Hashmap workload: FsEncr slowdown over secure baseline = "
+          f"{row.overhead_percent:.1f}% (paper: a few percent)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: the environment's setuptools predates PEP-660 editable
+installs, so `pip install -e .` goes through `setup.py develop` here.  All
+real metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

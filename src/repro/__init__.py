@@ -1,0 +1,40 @@
+"""FsEncr: hardware-assisted filesystem encryption for DAX NVM filesystems.
+
+A from-scratch Python reproduction of *"Filesystem Encryption or
+Direct-Access for NVM Filesystems? Let's Have Both!"* (HPCA 2022):
+counter-mode secure memory, the FsEncr per-file encryption layer
+(DF-bit, FECB, OTT, dual OTP), a simulated kernel + DAX filesystem, a
+trace-driven performance model, and the paper's full benchmark suite.
+
+Quick start::
+
+    from repro import Machine, MachineConfig, Scheme
+
+    machine = Machine(MachineConfig(scheme=Scheme.FSENCR, functional=True))
+    machine.add_user(uid=1000, gid=100, passphrase="s3cret")
+    handle = machine.create_file("/pmem/diary.txt", uid=1000, encrypted=True)
+    base = machine.mmap(handle, pages=1)
+    machine.store_bytes(base, b"dear diary...")
+    assert machine.load_bytes(base, 13) == b"dear diary..."
+
+See ``examples/`` for complete scenarios and ``benchmarks/`` for the
+figure-by-figure reproduction harness.
+"""
+
+from .core import FsEncrController, OpenTunnelTable, OTTEntry
+from .sim import Comparison, Machine, MachineConfig, ResultTable, RunResult, Scheme
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Machine",
+    "MachineConfig",
+    "Scheme",
+    "RunResult",
+    "Comparison",
+    "ResultTable",
+    "FsEncrController",
+    "OpenTunnelTable",
+    "OTTEntry",
+    "__version__",
+]

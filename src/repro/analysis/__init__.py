@@ -1,0 +1,49 @@
+"""Analysis: per-figure experiment harnesses and the Table I security demo."""
+
+from .experiments import (
+    DEFAULT_MICRO_ITERS,
+    DEFAULT_PMEMKV_OPS,
+    DEFAULT_WHISPER_OPS,
+    FIG15_CACHE_SIZES,
+    FIG15_WORKLOADS,
+    figure3_software_encryption,
+    figure8_to_10_pmemkv,
+    figure11_whisper,
+    figure12_to_14_micro,
+    figure15_cache_sensitivity,
+    render_sensitivity,
+)
+from .report import aggregate_report, bar_chart
+from .tails import render_tails, tail_latency_comparison
+from .security import (
+    SCENARIOS,
+    Scenario,
+    SystemDesign,
+    attacker_decrypt,
+    render_table1,
+    table1_matrix,
+)
+
+__all__ = [
+    "figure3_software_encryption",
+    "figure8_to_10_pmemkv",
+    "figure11_whisper",
+    "figure12_to_14_micro",
+    "figure15_cache_sensitivity",
+    "render_sensitivity",
+    "FIG15_CACHE_SIZES",
+    "FIG15_WORKLOADS",
+    "DEFAULT_PMEMKV_OPS",
+    "DEFAULT_WHISPER_OPS",
+    "DEFAULT_MICRO_ITERS",
+    "Scenario",
+    "SCENARIOS",
+    "SystemDesign",
+    "attacker_decrypt",
+    "table1_matrix",
+    "render_table1",
+    "aggregate_report",
+    "bar_chart",
+    "tail_latency_comparison",
+    "render_tails",
+]

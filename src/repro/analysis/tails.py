@@ -1,0 +1,58 @@
+"""Tail-latency analysis: where FsEncr's cost actually lives.
+
+Mean slowdown (the paper's headline metric) averages FsEncr's overhead
+across millions of cheap cache hits.  The distribution view is sharper:
+the median access is untouched (pads hide under the data fetch), while
+the tail fattens — a metadata-cache miss serialises a counter fetch, a
+Merkle walk, and possibly an OTT probe in front of the data.
+
+:func:`tail_latency_comparison` runs one workload under multiple
+schemes with per-access histograms attached and returns the percentile
+summaries; the companion benchmark asserts the "fat tail, flat median"
+signature.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional
+
+from ..sim.config import MachineConfig, Scheme
+from ..sim.histograms import LatencyHistogram
+from ..sim.machine import Machine
+from ..workloads.base import Workload
+
+__all__ = ["tail_latency_comparison", "render_tails"]
+
+
+def tail_latency_comparison(
+    workload_factory: Callable[[], Workload],
+    config: Optional[MachineConfig] = None,
+    schemes: Iterable[Scheme] = (Scheme.BASELINE_SECURE, Scheme.FSENCR),
+) -> Dict[str, Dict[str, float]]:
+    """Per-scheme access-latency percentile summaries for one workload.
+
+    Returns ``{scheme_value: {total, mean_ns, p50_ns, p90_ns, p99_ns,
+    max_ns}}``.
+    """
+    base_config = config or MachineConfig()
+    summaries: Dict[str, Dict[str, float]] = {}
+    for scheme in schemes:
+        machine = Machine(base_config.with_scheme(scheme))
+        histogram = machine.attach_histogram(name=f"{scheme.value}")
+        workload = workload_factory()
+        workload.setup(machine)
+        workload.run(machine)
+        summaries[scheme.value] = histogram.as_dict()
+    return summaries
+
+
+def render_tails(summaries: Dict[str, Dict[str, float]]) -> str:
+    header = f"{'scheme':<22}{'n':>9}{'mean':>9}{'p50':>8}{'p90':>8}{'p99':>9}{'max':>9}"
+    lines = ["Per-access latency distribution (ns)", header, "-" * len(header)]
+    for scheme, summary in summaries.items():
+        lines.append(
+            f"{scheme:<22}{summary['total']:>9.0f}{summary['mean_ns']:>9.1f}"
+            f"{summary['p50_ns']:>8.0f}{summary['p90_ns']:>8.0f}"
+            f"{summary['p99_ns']:>9.0f}{summary['max_ns']:>9.0f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,136 @@
+"""Command-line front end: regenerate any paper artefact from a shell.
+
+    python -m repro fig3            # software-encryption motivation
+    python -m repro fig8            # PMEMKV slowdown/writes/reads
+    python -m repro fig11           # Whisper slowdown/writes/reads
+    python -m repro fig12           # synthetic micro-benchmarks
+    python -m repro fig15           # metadata-cache sensitivity sweep
+    python -m repro table1          # executable vulnerability matrix
+    python -m repro all             # everything, in paper order
+    python -m repro quick           # one fast end-to-end sanity pass
+
+``--ops`` / ``--iters`` scale the workloads; ``--json PATH`` saves the
+table data for downstream plotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional
+
+from .analysis import (
+    figure3_software_encryption,
+    figure8_to_10_pmemkv,
+    figure11_whisper,
+    figure12_to_14_micro,
+    figure15_cache_sensitivity,
+    render_sensitivity,
+    render_table1,
+)
+
+__all__ = ["main"]
+
+
+def _emit(table, json_path: Optional[str]) -> None:
+    print(table.render())
+    print()
+    if json_path:
+        table.save_json(Path(json_path))
+        print(f"saved: {json_path}")
+
+
+def _run_fig3(args) -> None:
+    _emit(figure3_software_encryption(ops=args.ops or 1500), args.json)
+
+
+def _run_fig8(args) -> None:
+    _emit(figure8_to_10_pmemkv(ops=args.ops or 600), args.json)
+
+
+def _run_fig11(args) -> None:
+    _emit(figure11_whisper(ops=args.ops or 1500), args.json)
+
+
+def _run_fig12(args) -> None:
+    _emit(figure12_to_14_micro(iterations=args.iters or 8000), args.json)
+
+
+def _run_fig15(args) -> None:
+    curves = figure15_cache_sensitivity(
+        pmemkv_ops=args.ops or 400,
+        whisper_ops=(args.ops or 400) * 3,
+        micro_iters=args.iters or 6000,
+    )
+    print(render_sensitivity(curves))
+    if args.json:
+        import json
+
+        Path(args.json).write_text(
+            json.dumps(
+                {k: {str(s): v for s, v in c.items()} for k, c in curves.items()},
+                indent=2,
+            )
+        )
+        print(f"saved: {args.json}")
+
+
+def _run_table1(args) -> None:
+    print(render_table1())
+
+
+def _run_report(args) -> None:
+    from .analysis import aggregate_report
+
+    results = Path(args.json) if args.json else Path("benchmarks/results")
+    print(aggregate_report(results))
+
+
+def _run_quick(args) -> None:
+    """A fast sanity pass: tiny versions of the headline comparisons."""
+    print(render_table1())
+    print()
+    _emit(figure11_whisper(ops=400), None)
+    _emit(figure3_software_encryption(ops=400), None)
+
+
+def _run_all(args) -> None:
+    for runner in (_run_fig3, _run_fig8, _run_fig11, _run_fig12, _run_fig15, _run_table1):
+        runner(args)
+        print()
+
+
+_COMMANDS = {
+    "fig3": _run_fig3,
+    "fig8": _run_fig8,
+    "fig9": _run_fig8,  # same run produces all three PMEMKV series
+    "fig10": _run_fig8,
+    "fig11": _run_fig11,
+    "fig12": _run_fig12,
+    "fig13": _run_fig12,
+    "fig14": _run_fig12,
+    "fig15": _run_fig15,
+    "table1": _run_table1,
+    "report": _run_report,
+    "quick": _run_quick,
+    "all": _run_all,
+}
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the FsEncr paper's tables and figures.",
+    )
+    parser.add_argument("command", choices=sorted(_COMMANDS), help="artefact to regenerate")
+    parser.add_argument("--ops", type=int, default=None, help="workload operation count")
+    parser.add_argument("--iters", type=int, default=None, help="micro-benchmark iterations")
+    parser.add_argument("--json", type=str, default=None, help="save table data to this path")
+    args = parser.parse_args(argv)
+    _COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Filesystem substrate: DAX ext4-like filesystem + software-crypto overlay."""
+
+from .ecryptfs import SoftwareEncryptionOverlay
+from .ext4dax import DaxFilesystem, FileHandle, FsError
+from .inode import EncryptionContext, Inode
+from .permissions import (
+    MODE_DEFAULT,
+    MODE_PRIVATE,
+    MODE_WORLD,
+    AccessDenied,
+    User,
+    UserDatabase,
+    can_read,
+    can_write,
+    check_access,
+)
+
+__all__ = [
+    "SoftwareEncryptionOverlay",
+    "DaxFilesystem",
+    "FileHandle",
+    "FsError",
+    "EncryptionContext",
+    "Inode",
+    "AccessDenied",
+    "User",
+    "UserDatabase",
+    "can_read",
+    "can_write",
+    "check_access",
+    "MODE_DEFAULT",
+    "MODE_PRIVATE",
+    "MODE_WORLD",
+]

@@ -1,0 +1,104 @@
+"""Unix permission model: users, groups, mode bits, access checks.
+
+FsEncr deliberately does *not* re-implement access control (§II-A,
+§III-A): it trusts the OS's existing permission machinery and adds
+cryptographic enforcement underneath it.  This module is that existing
+machinery — owner/group/other mode bits and group membership — plus the
+``chmod 777`` footgun the paper uses as its motivating internal-attack
+example: permissions can be (mis)opened wide, and only the per-file key
+check stops a "curious" user from reading the bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Set
+
+__all__ = [
+    "AccessDenied",
+    "User",
+    "UserDatabase",
+    "can_read",
+    "can_write",
+    "check_access",
+    "MODE_DEFAULT",
+    "MODE_PRIVATE",
+    "MODE_WORLD",
+]
+
+MODE_DEFAULT = 0o644
+MODE_PRIVATE = 0o600
+MODE_WORLD = 0o777
+
+_READ, _WRITE = 4, 2
+
+
+class AccessDenied(Exception):
+    """The OS permission check failed."""
+
+
+@dataclass(frozen=True)
+class User:
+    """A system user with primary and supplementary groups."""
+
+    uid: int
+    gid: int
+    groups: FrozenSet[int] = frozenset()
+
+    @property
+    def all_groups(self) -> FrozenSet[int]:
+        return self.groups | {self.gid}
+
+
+@dataclass
+class UserDatabase:
+    """The /etc/passwd + /etc/group of the simulated system."""
+
+    users: Dict[int, User] = field(default_factory=dict)
+
+    def add_user(self, uid: int, gid: int, groups: Set[int] = frozenset()) -> User:
+        user = User(uid=uid, gid=gid, groups=frozenset(groups))
+        self.users[uid] = user
+        return user
+
+    def user(self, uid: int) -> User:
+        if uid not in self.users:
+            raise KeyError(f"unknown uid {uid}")
+        return self.users[uid]
+
+
+def _permission_class(mode: int, user: User, owner_uid: int, owner_gid: int) -> int:
+    """The 3-bit rwx triple applying to this user (owner/group/other)."""
+    if user.uid == owner_uid:
+        return (mode >> 6) & 7
+    if owner_gid in user.all_groups:
+        return (mode >> 3) & 7
+    return mode & 7
+
+
+def can_read(mode: int, user: User, owner_uid: int, owner_gid: int) -> bool:
+    if user.uid == 0:
+        return True  # root bypasses mode bits (but not file keys!)
+    return bool(_permission_class(mode, user, owner_uid, owner_gid) & _READ)
+
+
+def can_write(mode: int, user: User, owner_uid: int, owner_gid: int) -> bool:
+    if user.uid == 0:
+        return True
+    return bool(_permission_class(mode, user, owner_uid, owner_gid) & _WRITE)
+
+
+def check_access(
+    mode: int, user: User, owner_uid: int, owner_gid: int, *, write: bool
+) -> None:
+    """Raise :class:`AccessDenied` unless the access is permitted."""
+    allowed = (
+        can_write(mode, user, owner_uid, owner_gid)
+        if write
+        else can_read(mode, user, owner_uid, owner_gid)
+    )
+    if not allowed:
+        verb = "write" if write else "read"
+        raise AccessDenied(
+            f"uid {user.uid} may not {verb} (mode {mode:o}, owner {owner_uid}:{owner_gid})"
+        )

@@ -1,0 +1,34 @@
+"""Simulated kernel: translation, faults, MMIO channel, keyring, page cache.
+
+The software half of the paper's co-design lives here — everything the
+modified Linux 4.14 does in the real system: set the DF-bit during DAX
+faults, push file keys/IDs over MMIO, manage user keyrings, and (for the
+non-DAX comparison paths) run the page cache.
+"""
+
+from .costs import SoftwareCosts
+from .keyring import Keyring, KeyringError, SessionKeyring
+from .mmio import MMIO_WRITE_LATENCY_NS, MMIORegisters, MMIOTarget
+from .mmu import MMU, TranslationResult
+from .page_cache import CachedPage, PageCache, PageCacheConfig
+from .page_table import PageFault, PageTable, PageTableEntry
+from .tlb import TLB
+
+__all__ = [
+    "SoftwareCosts",
+    "Keyring",
+    "KeyringError",
+    "SessionKeyring",
+    "MMIORegisters",
+    "MMIOTarget",
+    "MMIO_WRITE_LATENCY_NS",
+    "MMU",
+    "TranslationResult",
+    "PageCache",
+    "PageCacheConfig",
+    "CachedPage",
+    "PageFault",
+    "PageTable",
+    "PageTableEntry",
+    "TLB",
+]

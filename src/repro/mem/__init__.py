@@ -1,0 +1,45 @@
+"""Memory substrate: address maps, PCM device model, caches, controllers."""
+
+from .address import (
+    LINE_SIZE,
+    LINES_PER_PAGE,
+    PAGE_SIZE,
+    AddressMap,
+    BankAddress,
+    line_address,
+    page_number,
+    page_offset_lines,
+)
+from .cache import CacheConfig, Eviction, SetAssociativeCache
+from .controller import MemoryControllerBase, MemoryRequest, PlainMemoryController
+from .hierarchy import AccessOutcome, CacheHierarchy, HierarchyConfig
+from .nvm import NVMDevice, NVMStore, NVMTiming
+from .stats import StatCounters, StatsRegistry
+from .wpq import WPQConfig, WritePendingQueue
+
+__all__ = [
+    "LINE_SIZE",
+    "PAGE_SIZE",
+    "LINES_PER_PAGE",
+    "AddressMap",
+    "BankAddress",
+    "line_address",
+    "page_number",
+    "page_offset_lines",
+    "CacheConfig",
+    "Eviction",
+    "SetAssociativeCache",
+    "MemoryRequest",
+    "MemoryControllerBase",
+    "PlainMemoryController",
+    "AccessOutcome",
+    "CacheHierarchy",
+    "HierarchyConfig",
+    "NVMDevice",
+    "NVMStore",
+    "NVMTiming",
+    "StatCounters",
+    "StatsRegistry",
+    "WPQConfig",
+    "WritePendingQueue",
+]

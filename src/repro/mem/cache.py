@@ -1,0 +1,184 @@
+"""Generic set-associative write-back cache with LRU replacement.
+
+One cache class serves every cache in the machine: L1/L2/L3 data caches
+and the on-chip Metadata Cache holding MECB/FECB/Merkle-tree lines
+(Table III: all are 64 B-block, 8- or 64-way, LRU-ish structures).  The
+cache is a *tag store only* — data contents live in the functional layer
+— because the timing model needs hit/miss/eviction behaviour, not bytes.
+
+Evictions are reported to the caller (the next level or the memory
+controller) so dirty metadata write-backs turn into the extra NVM writes
+the paper's Figures 9/13 measure.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .stats import StatCounters
+
+__all__ = ["CacheConfig", "Eviction", "SetAssociativeCache"]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of one cache level."""
+
+    name: str
+    size_bytes: int
+    ways: int
+    line_size: int = 64
+    hit_latency: float = 0.0  # ns; 1 GHz clock makes cycles == ns
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.size_bytes % (self.ways * self.line_size):
+            raise ValueError(
+                f"{self.name}: size {self.size_bytes} not divisible by "
+                f"ways*line ({self.ways}*{self.line_size})"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.ways * self.line_size)
+
+
+@dataclass(frozen=True)
+class Eviction:
+    """A victim pushed out of the cache; ``dirty`` means write it back."""
+
+    addr: int
+    dirty: bool
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache over line-aligned tags.
+
+    The public operations mirror what the machine model needs:
+
+    * :meth:`lookup` — probe without allocating.
+    * :meth:`access` — probe and allocate on miss, returning the hit flag
+      and any eviction the allocation caused.
+    * :meth:`writeback_line` / :meth:`invalidate_line` — the clwb / clflush
+      persist primitives PMDK-style workloads issue.
+    """
+
+    def __init__(self, config: CacheConfig, stats: Optional[StatCounters] = None) -> None:
+        self.config = config
+        self.stats = stats or StatCounters(config.name)
+        # One OrderedDict per set: key = tag, value = dirty flag.
+        # Iteration order is LRU -> MRU.
+        self._sets: List["OrderedDict[int, bool]"] = [
+            OrderedDict() for _ in range(config.num_sets)
+        ]
+
+    # -- address helpers ---------------------------------------------------
+
+    def _line(self, addr: int) -> int:
+        return addr // self.config.line_size
+
+    def _set_index(self, line: int) -> int:
+        return line % self.config.num_sets
+
+    # -- core operations ----------------------------------------------------
+
+    def lookup(self, addr: int) -> bool:
+        """True if the line is present; refreshes LRU on hit."""
+        line = self._line(addr)
+        entries = self._sets[self._set_index(line)]
+        if line in entries:
+            entries.move_to_end(line)
+            return True
+        return False
+
+    def access(self, addr: int, is_write: bool) -> "tuple[bool, Optional[Eviction]]":
+        """Probe + allocate-on-miss.  Returns ``(hit, eviction_or_None)``."""
+        line = self._line(addr)
+        entries = self._sets[self._set_index(line)]
+        eviction: Optional[Eviction] = None
+        hit = line in entries
+        if hit:
+            self.stats.add("hits")
+            entries.move_to_end(line)
+            if is_write:
+                entries[line] = True
+        else:
+            self.stats.add("misses")
+            if len(entries) >= self.config.ways:
+                victim_line, victim_dirty = entries.popitem(last=False)
+                eviction = Eviction(
+                    addr=victim_line * self.config.line_size, dirty=victim_dirty
+                )
+                self.stats.add("evictions")
+                if victim_dirty:
+                    self.stats.add("dirty_evictions")
+            entries[line] = is_write
+        return hit, eviction
+
+    def fill(self, addr: int, dirty: bool = False) -> Optional[Eviction]:
+        """Insert a line (used by explicit fills); returns any eviction."""
+        line = self._line(addr)
+        entries = self._sets[self._set_index(line)]
+        eviction: Optional[Eviction] = None
+        if line in entries:
+            entries.move_to_end(line)
+            if dirty:
+                entries[line] = True
+            return None
+        if len(entries) >= self.config.ways:
+            victim_line, victim_dirty = entries.popitem(last=False)
+            eviction = Eviction(addr=victim_line * self.config.line_size, dirty=victim_dirty)
+            self.stats.add("evictions")
+            if victim_dirty:
+                self.stats.add("dirty_evictions")
+        entries[line] = dirty
+        return eviction
+
+    def writeback_line(self, addr: int) -> bool:
+        """clwb: clean the line in place.  Returns True if it was dirty."""
+        line = self._line(addr)
+        entries = self._sets[self._set_index(line)]
+        if entries.get(line):
+            entries[line] = False
+            self.stats.add("writebacks")
+            return True
+        return False
+
+    def invalidate_line(self, addr: int) -> Optional[Eviction]:
+        """clflush: evict the line.  Returns the eviction if present."""
+        line = self._line(addr)
+        entries = self._sets[self._set_index(line)]
+        if line not in entries:
+            return None
+        dirty = entries.pop(line)
+        self.stats.add("invalidations")
+        return Eviction(addr=line * self.config.line_size, dirty=dirty)
+
+    def drain(self) -> List[Eviction]:
+        """Flush everything (crash / shutdown).  Returns dirty victims."""
+        victims: List[Eviction] = []
+        for entries in self._sets:
+            for line, dirty in entries.items():
+                if dirty:
+                    victims.append(Eviction(addr=line * self.config.line_size, dirty=True))
+            entries.clear()
+        return victims
+
+    def contents(self) -> Dict[int, bool]:
+        """Snapshot {line_addr: dirty} — used by crash-consistency tests."""
+        snapshot: Dict[int, bool] = {}
+        for entries in self._sets:
+            for line, dirty in entries.items():
+                snapshot[line * self.config.line_size] = dirty
+        return snapshot
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(entries) for entries in self._sets)
+
+    @property
+    def hit_rate(self) -> float:
+        hits = self.stats.get("hits")
+        total = hits + self.stats.get("misses")
+        return hits / total if total else 0.0

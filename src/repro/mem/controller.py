@@ -1,0 +1,95 @@
+"""Memory-controller interface and the plain (no-encryption) controller.
+
+Every scheme the paper compares is, from the machine model's point of
+view, just a memory controller with a different ``access`` cost:
+
+* :class:`PlainMemoryController` (here) — raw ext4-dax with *no*
+  encryption at all; used by the software-encryption study (Figure 3)
+  as the thing eCryptfs is layered over.
+* ``BaselineSecureController`` (``repro.secmem``) — counter-mode memory
+  encryption + Bonsai Merkle tree; the paper's "Baseline Security".
+* ``FsEncrController`` (``repro.core``) — the contribution: the baseline
+  plus per-file encryption (FECB/OTT/dual-OTP).
+
+They all implement the small :class:`MemoryControllerBase` surface so the
+machine model and workloads are scheme-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .nvm import NVMDevice, NVMStore
+from .stats import StatCounters
+
+__all__ = ["MemoryRequest", "MemoryControllerBase", "PlainMemoryController"]
+
+
+@dataclass(frozen=True)
+class MemoryRequest:
+    """One line-granularity request arriving at the controller.
+
+    ``addr`` is the *full* physical address including the DF-bit (bit 51
+    by default — see ``repro.mem.dfbit``); secure controllers strip and
+    interpret it.  ``persist`` marks persist-path writes (clwb+fence).
+    ``data`` optionally carries the 64 B plaintext line for functional
+    runs — controllers running with real crypto seal it during the write
+    so the counter used for the pad is exactly the counter a later read
+    will see.
+    """
+
+    addr: int
+    is_write: bool
+    persist: bool = False
+    data: Optional[bytes] = None
+
+    def __post_init__(self) -> None:
+        if self.addr < 0:
+            raise ValueError(f"negative physical address {self.addr:#x}")
+        if self.persist and not self.is_write:
+            raise ValueError("persist only applies to writes")
+        if self.data is not None and not self.is_write:
+            raise ValueError("data payload only applies to writes")
+
+
+class MemoryControllerBase:
+    """Common plumbing: the NVM device, functional store, and counters."""
+
+    def __init__(
+        self,
+        device: Optional[NVMDevice] = None,
+        store: Optional[NVMStore] = None,
+        stats: Optional[StatCounters] = None,
+    ) -> None:
+        self.device = device or NVMDevice()
+        self.store = store or NVMStore()
+        self.stats = stats or StatCounters(self.__class__.__name__.lower())
+
+    def access(self, request: MemoryRequest) -> float:
+        """Serve one request; returns total latency in nanoseconds."""
+        raise NotImplementedError
+
+    # Functional path — optional; controllers that encrypt override these.
+
+    def write_data(self, addr: int, plaintext_line: bytes) -> None:
+        """Functionally store one 64 B line (plaintext view from the CPU)."""
+        self.store.write_line(addr, plaintext_line)
+
+    def read_data(self, addr: int) -> bytes:
+        """Functionally load one 64 B line back to the CPU."""
+        return self.store.read_line(addr)
+
+
+class PlainMemoryController(MemoryControllerBase):
+    """No encryption, no integrity: each request is one device access."""
+
+    def access(self, request: MemoryRequest) -> float:
+        if request.is_write:
+            self.stats.add("write_requests")
+            if request.data is not None:
+                # Functional payload lands as-is: no encryption here.
+                self.store.write_line(request.addr, request.data)
+            return self.device.write(request.addr, persist=request.persist)
+        self.stats.add("read_requests")
+        return self.device.read(request.addr)

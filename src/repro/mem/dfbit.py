@@ -1,0 +1,63 @@
+"""DF-bit (DAX-File bit) physical-address tagging.
+
+FsEncr's recognition mechanism (§III-C): one spare bit of the physical
+address — bit 51 of a 52-bit address space, matching the paper's
+``(1UL << 51) | pfn`` kernel snippet — marks a page as belonging to a
+DAX file.  The kernel sets it in the PTE during the DAX page fault; the
+MMU propagates it through translation; caches carry it as part of the
+tag; the memory controller finally consumes it to route the request
+through the file-encryption engine.
+
+Using address bits this way mirrors shipping hardware (AMD SEV's C-bit,
+Intel MKTME's KeyID bits), which is the paper's feasibility argument.
+
+This lives in ``repro.mem`` because it is address arithmetic every layer
+shares; ``repro.core`` re-exports it as part of the public FsEncr API.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "DF_BIT_POSITION",
+    "DF_MASK",
+    "PHYSICAL_ADDRESS_BITS",
+    "set_df",
+    "clear_df",
+    "has_df",
+    "strip",
+]
+
+PHYSICAL_ADDRESS_BITS = 52  # Intel IA-32e maximum (§III-C)
+DF_BIT_POSITION = 51
+DF_MASK = 1 << DF_BIT_POSITION
+
+
+def set_df(addr: int) -> int:
+    """Tag a physical address as a DAX-file access."""
+    _check(addr)
+    return addr | DF_MASK
+
+
+def clear_df(addr: int) -> int:
+    """Remove the DF tag (alias of :func:`strip`, reads better in pairs)."""
+    _check(addr)
+    return addr & ~DF_MASK
+
+
+def has_df(addr: int) -> bool:
+    """True when the address carries the DAX-file tag."""
+    _check(addr)
+    return bool(addr & DF_MASK)
+
+
+def strip(addr: int) -> int:
+    """The raw device address: DF removed, everything else untouched."""
+    _check(addr)
+    return addr & ~DF_MASK
+
+
+def _check(addr: int) -> None:
+    if addr < 0 or addr >= (1 << PHYSICAL_ADDRESS_BITS):
+        raise ValueError(
+            f"address {addr:#x} outside the {PHYSICAL_ADDRESS_BITS}-bit physical space"
+        )

@@ -1,0 +1,90 @@
+"""Statistics plumbing shared by every level of the memory model.
+
+Every component (caches, NVM device, encryption engines, Merkle tree,
+OTT, kernel) owns a :class:`StatCounters` bundle.  The machine model
+aggregates them into one flat dictionary at the end of a run; the
+benchmark harness then normalises against the baseline run exactly the
+way the paper's figures do ("Normalized to the baseline").
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping
+
+__all__ = ["StatCounters", "StatsRegistry"]
+
+
+@dataclass
+class StatCounters:
+    """A named bag of monotonically increasing counters."""
+
+    name: str
+    counters: Counter = field(default_factory=Counter)
+
+    def add(self, key: str, amount: int = 1) -> None:
+        self.counters[key] += amount
+
+    def get(self, key: str) -> int:
+        return self.counters.get(key, 0)
+
+    def merge(self, other: "StatCounters") -> None:
+        self.counters.update(other.counters)
+
+    def reset(self) -> None:
+        self.counters.clear()
+
+    def as_dict(self, prefix: str = "") -> Dict[str, int]:
+        base = prefix or self.name
+        return {f"{base}.{key}": value for key, value in sorted(self.counters.items())}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self.counters.items()))
+        return f"StatCounters({self.name}: {inner})"
+
+
+class StatsRegistry:
+    """Collects the :class:`StatCounters` of every component in a machine.
+
+    Components register themselves at construction; ``snapshot`` returns a
+    flat mapping suitable for result records and for computing the
+    normalized reads/writes/slowdown series of Figures 8-14.
+    """
+
+    def __init__(self) -> None:
+        self._bundles: Dict[str, StatCounters] = {}
+
+    def register(self, bundle: StatCounters) -> StatCounters:
+        if bundle.name in self._bundles:
+            raise ValueError(f"duplicate stats bundle: {bundle.name}")
+        self._bundles[bundle.name] = bundle
+        return bundle
+
+    def create(self, name: str) -> StatCounters:
+        return self.register(StatCounters(name))
+
+    def bundle(self, name: str) -> StatCounters:
+        return self._bundles[name]
+
+    @property
+    def names(self) -> Iterable[str]:
+        return self._bundles.keys()
+
+    def reset(self) -> None:
+        for bundle in self._bundles.values():
+            bundle.reset()
+
+    def snapshot(self) -> Dict[str, int]:
+        merged: Dict[str, int] = {}
+        for bundle in self._bundles.values():
+            merged.update(bundle.as_dict())
+        return merged
+
+    @staticmethod
+    def normalize(run: Mapping[str, float], baseline: Mapping[str, float], key: str) -> float:
+        """Return run[key]/baseline[key], tolerating a zero baseline."""
+        denominator = baseline.get(key, 0)
+        if not denominator:
+            return 0.0 if not run.get(key, 0) else float("inf")
+        return run.get(key, 0) / denominator

@@ -1,0 +1,85 @@
+"""The memory controller's Write Pending Queue (the ADR domain).
+
+``clwb + sfence`` does not wait for the PCM array: it completes when the
+line reaches the controller's write-pending queue, which ADR guarantees
+to drain on power failure.  That makes persist latency *burst-
+sensitive*: a queue with free slots absorbs a flush in tens of
+nanoseconds, but a workload flushing faster than the PCM array drains
+(150 ns/entry) fills the queue and stalls — the cliff behind many real
+PM performance anomalies.
+
+The machine's persist path uses this model when
+``MachineConfig.model_wpq`` is on; the default keeps the simpler fixed
+ADR constant for backwards-comparable figures, and an ablation measures
+the difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .stats import StatCounters
+
+__all__ = ["WPQConfig", "WritePendingQueue"]
+
+
+@dataclass(frozen=True)
+class WPQConfig:
+    """Queue geometry and timing."""
+
+    entries: int = 16  # typical ADR-protected depth
+    accept_ns: float = 30.0  # flush completion when a slot is free
+    drain_ns_per_entry: float = 150.0  # PCM array write service rate
+
+    def __post_init__(self) -> None:
+        if self.entries < 1:
+            raise ValueError("WPQ needs at least one entry")
+
+
+class WritePendingQueue:
+    """Occupancy-over-time model against the machine's global clock.
+
+    The queue drains continuously at one entry per ``drain_ns_per_entry``;
+    ``accept(now_ns)`` returns the latency the flushing store observes:
+    the accept cost alone while slots are free, plus the wait for the
+    next drain slot when the queue is full.
+    """
+
+    def __init__(self, config: Optional[WPQConfig] = None, stats: Optional[StatCounters] = None) -> None:
+        self.config = config or WPQConfig()
+        self.stats = stats or StatCounters("wpq")
+        # Time at which the queue's backlog will have fully drained.
+        self._backlog_clear_ns = 0.0
+
+    def occupancy_at(self, now_ns: float) -> int:
+        """Entries still queued at ``now_ns``."""
+        remaining_ns = max(0.0, self._backlog_clear_ns - now_ns)
+        return min(
+            self.config.entries,
+            int(-(-remaining_ns // self.config.drain_ns_per_entry)),
+        )
+
+    def accept(self, now_ns: float) -> float:
+        """Enqueue one persist write at ``now_ns``; returns its latency."""
+        self.stats.add("accepts")
+        drain = self.config.drain_ns_per_entry
+        backlog_ns = max(0.0, self._backlog_clear_ns - now_ns)
+        occupancy = self.occupancy_at(now_ns)
+        if occupancy >= self.config.entries:
+            # Full: the flush waits for one drain slot to open.
+            wait_ns = backlog_ns - (self.config.entries - 1) * drain
+            self.stats.add("stalls")
+            latency = wait_ns + self.config.accept_ns
+            self._backlog_clear_ns = now_ns + backlog_ns + drain
+            return latency
+        # Free slot: accept immediately; the entry joins the backlog.
+        self._backlog_clear_ns = max(self._backlog_clear_ns, now_ns) + drain
+        return self.config.accept_ns
+
+    def drain_all(self, now_ns: float) -> float:
+        """Fence-to-durability (e.g. shutdown): time to empty the queue."""
+        remaining = max(0.0, self._backlog_clear_ns - now_ns)
+        self.stats.add("full_drains")
+        self._backlog_clear_ns = now_ns
+        return remaining

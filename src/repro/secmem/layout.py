@@ -1,0 +1,158 @@
+"""Physical layout of the security-metadata region.
+
+Counter-mode encryption keeps its metadata *in memory* (§II-C): MECBs,
+FECBs, Merkle-tree nodes, and FsEncr's encrypted-OTT spill region all
+occupy reserved physical ranges above the data region.  Their addresses
+matter to the timing model — a metadata-cache miss turns into a real NVM
+access at that address, with its own row-buffer behaviour — so the layout
+is computed once here and shared by every component.
+
+Layout (one line = 64 B):
+
+    [0, data_bytes)                        data (memory + DAX files)
+    [mecb_base, +lines_of(pages))          one MECB line per 4 KB data page
+    [fecb_base, +lines_of(pages))          one FECB line per 4 KB data page
+                                           ("a file encryption counter
+                                           block follows each memory
+                                           encryption counter block" —
+                                           modelled as a parallel array,
+                                           which keeps indexing trivial
+                                           and preserves the 1:1 pairing)
+    [ott_base, +ott_region_bytes)          encrypted OTT hash table
+    [mt_base(level), ...)                  Merkle-tree levels, leaves up
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..mem.address import LINE_SIZE, PAGE_SIZE
+
+__all__ = ["MetadataLayout"]
+
+
+@dataclass(frozen=True)
+class MetadataLayout:
+    """Address carving for a machine with ``data_bytes`` of protected data."""
+
+    data_bytes: int = 16 * 1024 * 1024 * 1024  # Table III: 16 GB
+    ott_region_bytes: int = 256 * 1024  # spill area for evicted OTT entries
+    merkle_arity: int = 8
+
+    def __post_init__(self) -> None:
+        if self.data_bytes % PAGE_SIZE:
+            raise ValueError("data_bytes must be page aligned")
+        if self.ott_region_bytes % LINE_SIZE:
+            raise ValueError("ott_region_bytes must be line aligned")
+        if self.merkle_arity < 2:
+            raise ValueError("merkle arity must be >= 2")
+
+    # -- region sizes -------------------------------------------------------
+
+    @property
+    def num_pages(self) -> int:
+        return self.data_bytes // PAGE_SIZE
+
+    @property
+    def counter_region_bytes(self) -> int:
+        """Bytes of one counter array (MECB or FECB): one line per page."""
+        return self.num_pages * LINE_SIZE
+
+    # -- region bases -------------------------------------------------------
+
+    @property
+    def mecb_base(self) -> int:
+        return self.data_bytes
+
+    @property
+    def fecb_base(self) -> int:
+        return self.mecb_base + self.counter_region_bytes
+
+    @property
+    def ott_base(self) -> int:
+        return self.fecb_base + self.counter_region_bytes
+
+    @property
+    def merkle_base(self) -> int:
+        return self.ott_base + self.ott_region_bytes
+
+    # -- per-page metadata addresses -----------------------------------------
+
+    def mecb_addr(self, page: int) -> int:
+        self._check_page(page)
+        return self.mecb_base + page * LINE_SIZE
+
+    def fecb_addr(self, page: int) -> int:
+        self._check_page(page)
+        return self.fecb_base + page * LINE_SIZE
+
+    def ott_slot_addr(self, slot: int) -> int:
+        addr = self.ott_base + slot * LINE_SIZE
+        if addr >= self.merkle_base:
+            raise ValueError(f"OTT slot {slot} outside the OTT region")
+        return addr
+
+    @property
+    def ott_slots(self) -> int:
+        return self.ott_region_bytes // LINE_SIZE
+
+    def _check_page(self, page: int) -> None:
+        if page < 0 or page >= self.num_pages:
+            raise ValueError(f"page {page} outside data region ({self.num_pages} pages)")
+
+    # -- Merkle-tree geometry --------------------------------------------------
+
+    @property
+    def merkle_leaves(self) -> int:
+        """Leaf count: every protected metadata line is a leaf.
+
+        The tree covers MECBs + FECBs + the encrypted OTT region (§VI
+        "Integrity of Filesystem Encryption Counters and OTT").
+        """
+        protected_bytes = 2 * self.counter_region_bytes + self.ott_region_bytes
+        return protected_bytes // LINE_SIZE
+
+    @property
+    def merkle_levels(self) -> int:
+        """Number of levels including the leaf level (root excluded —
+        the root never lives in memory)."""
+        levels = 1
+        nodes = self.merkle_leaves
+        while nodes > self.merkle_arity:
+            nodes = -(-nodes // self.merkle_arity)  # ceil division
+            levels += 1
+        return levels
+
+    def merkle_leaf_index(self, metadata_addr: int) -> int:
+        """Leaf index of a protected metadata line address."""
+        if not self.mecb_base <= metadata_addr < self.merkle_base:
+            raise ValueError(f"{metadata_addr:#x} is not a protected metadata address")
+        return (metadata_addr - self.mecb_base) // LINE_SIZE
+
+    def merkle_node_addr(self, level: int, index: int) -> int:
+        """Memory address of a tree node (level 0 = parents of leaves).
+
+        Leaves themselves are the metadata lines; internal levels are
+        packed arrays laid out end to end above ``merkle_base``.
+        """
+        if level < 0:
+            raise ValueError("level must be >= 0")
+        base = self.merkle_base
+        nodes = -(-self.merkle_leaves // self.merkle_arity)
+        for _ in range(level):
+            base += nodes * LINE_SIZE
+            nodes = -(-nodes // self.merkle_arity)
+        if index >= nodes:
+            raise ValueError(f"node index {index} out of range at level {level}")
+        return base + index * LINE_SIZE
+
+    @property
+    def total_bytes(self) -> int:
+        """Upper bound of the whole layout (for address-space checks)."""
+        base = self.merkle_base
+        nodes = -(-self.merkle_leaves // self.merkle_arity)
+        while True:
+            base += nodes * LINE_SIZE
+            if nodes == 1:
+                return base
+            nodes = -(-nodes // self.merkle_arity)

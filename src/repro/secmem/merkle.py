@@ -1,0 +1,197 @@
+"""8-ary Bonsai Merkle tree over the security-metadata region.
+
+The tree authenticates every protected metadata line (MECBs, FECBs, the
+encrypted-OTT region).  Its root lives on-chip and never touches memory;
+internal nodes live in the metadata region and are cached in the metadata
+cache like counters are.
+
+Two faces, matching the rest of the simulator:
+
+* *Timing face* — :meth:`path_to_root` enumerates the node addresses a
+  verification/update must touch; the secure controller feeds them
+  through the metadata cache and charges NVM traffic for misses.
+* *Functional face* — real SHA-256 hashing: :meth:`update_leaf` rehashes
+  the path after a counter change, :meth:`verify_leaf` recomputes up to
+  the root and compares.  Tamper tests flip bits in the counter store and
+  assert the root mismatch fires.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..mem.stats import StatCounters
+from .layout import MetadataLayout
+
+__all__ = ["IntegrityError", "BonsaiMerkleTree"]
+
+_ZERO_DIGEST = hashlib.sha256(b"fsencr-empty-node").digest()
+
+
+class IntegrityError(Exception):
+    """Raised when a Merkle verification detects tampering or replay."""
+
+
+class BonsaiMerkleTree:
+    """Sparse functional + geometric model of the metadata integrity tree.
+
+    Node digests are stored sparsely; an absent node means "subtree of
+    all-default leaves" and hashes to a level-dependent default, so the
+    tree never materialises its multi-million-node full shape.
+    """
+
+    def __init__(
+        self,
+        layout: MetadataLayout,
+        leaf_reader: Optional[Callable[[int], bytes]] = None,
+        stats: Optional[StatCounters] = None,
+    ) -> None:
+        """``leaf_reader(leaf_index) -> bytes`` returns the canonical bytes
+        of the protected metadata line (counter serialisation / OTT slot
+        ciphertext); the tree itself stores no leaf data."""
+        self.layout = layout
+        self.arity = layout.merkle_arity
+        self._leaf_reader = leaf_reader
+        self.stats = stats or StatCounters("merkle")
+        self._nodes: Dict["tuple[int, int]", bytes] = {}
+        self._touched: set = set()
+        self._default_digests = self._compute_default_digests()
+        self._root = self._default_digests[-1]
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def num_levels(self) -> int:
+        """Internal levels stored in memory (root excluded)."""
+        levels = 0
+        nodes = self.layout.merkle_leaves
+        while nodes > 1:
+            nodes = -(-nodes // self.arity)
+            levels += 1
+        return levels
+
+    def path_to_root(self, metadata_addr: int) -> List[int]:
+        """Memory addresses of the internal nodes covering a leaf.
+
+        Ordered leaf-side first.  The last level's single node is the
+        root's only child; the root itself has no address.
+        """
+        index = self.layout.merkle_leaf_index(metadata_addr)
+        addrs: List[int] = []
+        nodes = self.layout.merkle_leaves
+        for level in range(self.num_levels):
+            index //= self.arity
+            nodes = -(-nodes // self.arity)
+            addrs.append(self.layout.merkle_node_addr(level, index))
+        return addrs
+
+    # -- functional hashing ----------------------------------------------------
+
+    def _compute_default_digests(self) -> List[bytes]:
+        """Digest of an all-default subtree at each level (leaf level = 0)."""
+        digests = [_ZERO_DIGEST]
+        nodes = self.layout.merkle_leaves
+        while nodes > 1:
+            digests.append(
+                hashlib.sha256(digests[-1] * self.arity).digest()
+            )
+            nodes = -(-nodes // self.arity)
+        return digests
+
+    def _leaf_digest(self, leaf_index: int) -> bytes:
+        """Digest of the leaf's *actual* content.
+
+        All-zero content maps to the default digest so the sparse
+        default-subtree arithmetic stays exact — and so tampering with a
+        never-updated leaf (whose content is then no longer zero) is
+        still caught.
+        """
+        if self._leaf_reader is None:
+            raise RuntimeError("functional hashing requires a leaf_reader")
+        data = self._leaf_reader(leaf_index)
+        if not any(data):
+            return _ZERO_DIGEST
+        return hashlib.sha256(data).digest()
+
+    def _node_digest(self, level: int, index: int) -> bytes:
+        """Digest of node (level, index); level 0 nodes hash leaf digests."""
+        stored = self._nodes.get((level, index))
+        if stored is not None:
+            return stored
+        return self._default_digests[level + 1]
+
+    def _child_digests(self, level: int, index: int) -> Iterable[bytes]:
+        base = index * self.arity
+        if level == 0:
+            max_leaf = self.layout.merkle_leaves
+            for child in range(base, base + self.arity):
+                if child < max_leaf and self._leaf_reader is not None:
+                    yield self._leaf_digest(child)
+                else:
+                    yield _ZERO_DIGEST
+        else:
+            for child in range(base, base + self.arity):
+                yield self._node_digest(level - 1, child)
+
+    # -- public functional API ---------------------------------------------------
+
+    @property
+    def root(self) -> bytes:
+        return self._root
+
+    def update_leaf(self, metadata_addr: int) -> None:
+        """Re-hash the path after the leaf's content changed."""
+        index = self.layout.merkle_leaf_index(metadata_addr)
+        self._touched.add(index)
+        self.stats.add("leaf_updates")
+        for level in range(self.num_levels):
+            index //= self.arity
+            digest = hashlib.sha256(
+                b"".join(self._child_digests(level, index))
+            ).digest()
+            self._nodes[(level, index)] = digest
+        self._root = self._node_digest(self.num_levels - 1, 0)
+
+    def verify_leaf(self, metadata_addr: int) -> None:
+        """Recompute the path and compare against the on-chip root.
+
+        Raises :class:`IntegrityError` on mismatch (tamper/replay).
+        """
+        index = self.layout.merkle_leaf_index(metadata_addr)
+        self.stats.add("verifications")
+        child_digest = self._leaf_digest(index)
+        for level in range(self.num_levels):
+            slot = index % self.arity
+            index //= self.arity
+            children = list(self._child_digests(level, index))
+            if children[slot] != child_digest:
+                self.stats.add("mismatches")
+                raise IntegrityError(
+                    f"merkle mismatch at level {level} for {metadata_addr:#x}"
+                )
+            child_digest = hashlib.sha256(b"".join(children)).digest()
+        if child_digest != self._root:
+            self.stats.add("mismatches")
+            raise IntegrityError(f"root mismatch verifying {metadata_addr:#x}")
+
+    def rebuild_root(self) -> bytes:
+        """Recompute every stored node bottom-up (crash recovery path).
+
+        Osiris recovers counters first, then "the Merkle tree can be
+        regenerated and verified through the root stored inside the
+        processor" — this is that regeneration.
+        """
+        parents = {index // self.arity for index in self._touched}
+        for level in range(self.num_levels):
+            next_parents = set()
+            for index in parents:
+                digest = hashlib.sha256(
+                    b"".join(self._child_digests(level, index))
+                ).digest()
+                self._nodes[(level, index)] = digest
+                next_parents.add(index // self.arity)
+            parents = next_parents
+        self._root = self._node_digest(self.num_levels - 1, 0)
+        self.stats.add("rebuilds")
+        return self._root

@@ -1,0 +1,22 @@
+"""Simulation layer: machine model, configuration, and run records."""
+
+from .config import MachineConfig, Scheme
+from .histograms import LatencyHistogram
+from .machine import Machine, MappedRegion
+from .results import Comparison, ResultTable, RunResult
+from .trace import Trace, TraceOp, TraceRecorder, replay
+
+__all__ = [
+    "MachineConfig",
+    "Scheme",
+    "Machine",
+    "MappedRegion",
+    "LatencyHistogram",
+    "RunResult",
+    "Comparison",
+    "ResultTable",
+    "Trace",
+    "TraceOp",
+    "TraceRecorder",
+    "replay",
+]

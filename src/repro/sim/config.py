@@ -1,0 +1,157 @@
+"""Machine configuration — the programmatic mirror of Table III.
+
+A :class:`MachineConfig` fully determines a simulated system: the
+scheme under test (the paper's comparison axes), cache geometry, NVM
+timing, metadata-cache size (the Figure 15 sweep knob), and the
+software-cost model.  Benchmarks construct configs, never components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..kernel.costs import SoftwareCosts
+from ..mem.cache import CacheConfig
+from ..mem.hierarchy import HierarchyConfig
+from ..mem.nvm import NVMTiming
+from ..mem.wpq import WPQConfig
+from ..secmem.metadata_cache import MetadataCacheConfig
+from ..secmem.secure_controller import SecureControllerConfig
+
+__all__ = ["Scheme", "MachineConfig", "scaled_hierarchy", "SCALE_FACTOR"]
+
+#: Python-scale runs shrink workload footprints ~16x versus the paper's
+#: Gem5 runs; caches shrink by the same factor so that the working-set /
+#: cache-capacity *ratios* — which drive every figure's shape — match.
+#: ``MachineConfig.paper_scale()`` restores the full Table III geometry.
+SCALE_FACTOR = 16
+
+
+def scaled_hierarchy() -> HierarchyConfig:
+    """Table III's hierarchy divided by :data:`SCALE_FACTOR`."""
+    return HierarchyConfig(
+        l1=CacheConfig(name="l1", size_bytes=32 * 1024 // SCALE_FACTOR, ways=8, hit_latency=2.0),
+        l2=CacheConfig(name="l2", size_bytes=512 * 1024 // SCALE_FACTOR, ways=8, hit_latency=20.0),
+        l3=CacheConfig(name="l3", size_bytes=4 * 1024 * 1024 // SCALE_FACTOR, ways=64, hit_latency=32.0),
+    )
+
+
+def scaled_metadata_cache() -> MetadataCacheConfig:
+    """Table III's 512 KB metadata cache divided by :data:`SCALE_FACTOR`."""
+    return MetadataCacheConfig(size_bytes=512 * 1024 // SCALE_FACTOR)
+
+
+class Scheme(Enum):
+    """The four systems the paper's figures compare, plus the
+    conventional pre-DAX filesystem they all improve on."""
+
+    #: Conventional filesystem of Figure 1(a): page cache, fault + FS +
+    #: driver + copy on every cold page, no encryption.  Not in the
+    #: paper's result figures — it is the background DAX removes.
+    CONVENTIONAL = "conventional"
+    #: Plain ext4-dax, no encryption anywhere (Figure 3's reference).
+    EXT4DAX_PLAIN = "ext4dax_plain"
+    #: eCryptfs-style software encryption through the page cache; DAX off
+    #: (Figure 3's software-encryption bars, the ~2.7x/5x loser).
+    SOFTWARE_ENCRYPTION = "software_encryption"
+    #: Counter-mode memory encryption + BMT, no file layer — the
+    #: "Baseline Security" that Figures 8-15 normalise against.
+    BASELINE_SECURE = "baseline_secure"
+    #: The contribution: baseline + hardware filesystem encryption.
+    FSENCR = "fsencr"
+
+    @property
+    def uses_dax(self) -> bool:
+        return self not in (Scheme.SOFTWARE_ENCRYPTION, Scheme.CONVENTIONAL)
+
+    @property
+    def uses_page_cache(self) -> bool:
+        return self in (Scheme.SOFTWARE_ENCRYPTION, Scheme.CONVENTIONAL)
+
+    @property
+    def has_file_encryption(self) -> bool:
+        return self in (Scheme.FSENCR, Scheme.SOFTWARE_ENCRYPTION)
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Everything needed to build a :class:`~repro.sim.machine.Machine`."""
+
+    scheme: Scheme = Scheme.FSENCR
+    # Table III: memmap=4G!12G -> PMEM at 12 GB, 4 GB of it.  Scaled-down
+    # defaults keep simulated footprints proportional to the scaled-down
+    # workloads; the full-size values are a constructor call away.
+    pmem_base: int = 256 * 1024 * 1024
+    pmem_bytes: int = 128 * 1024 * 1024
+    total_memory_bytes: int = 512 * 1024 * 1024
+    hierarchy: HierarchyConfig = field(default_factory=scaled_hierarchy)
+    nvm_timing: NVMTiming = field(default_factory=NVMTiming)
+    metadata_cache: MetadataCacheConfig = field(default_factory=scaled_metadata_cache)
+    software_costs: SoftwareCosts = field(default_factory=SoftwareCosts)
+    aes_latency_ns: float = 40.0
+    stop_loss: int = 4
+    functional: bool = False
+    #: Background (non-persist) write-backs contend for device bandwidth
+    #: rather than stalling the pipeline; this factor is the fraction of
+    #: their device latency charged to wall-clock.
+    write_contention_factor: float = 0.25
+    #: Model the controller's Write Pending Queue explicitly (burst-
+    #: sensitive persist latency) instead of the fixed ADR constant.
+    model_wpq: bool = False
+    wpq: WPQConfig = field(default_factory=WPQConfig)
+    #: Page-cache capacity for the software-encryption scheme, in pages
+    #: (scaled like the caches; the paper's page cache is effectively
+    #: memory-sized, ours must be thrashable by scaled workloads).
+    page_cache_pages: int = 48
+    seed: int = 0x5EED
+
+    def __post_init__(self) -> None:
+        if self.pmem_base % 4096 or self.pmem_bytes % 4096:
+            raise ValueError("PMEM region must be page aligned")
+        if self.pmem_base + self.pmem_bytes > self.total_memory_bytes:
+            raise ValueError("PMEM region exceeds total memory")
+        if not 0.0 <= self.write_contention_factor <= 1.0:
+            raise ValueError("write_contention_factor must be in [0, 1]")
+
+    def controller_config(self) -> SecureControllerConfig:
+        return SecureControllerConfig(
+            aes_latency_ns=self.aes_latency_ns,
+            stop_loss=self.stop_loss,
+            functional=self.functional,
+            metadata_cache=self.metadata_cache,
+        )
+
+    @classmethod
+    def paper_scale(cls, **overrides) -> "MachineConfig":
+        """The unscaled Table III machine (32 KB/512 KB/4 MB caches,
+        512 KB metadata cache) — for users replaying full-size traces."""
+        defaults = dict(
+            hierarchy=HierarchyConfig(),
+            metadata_cache=MetadataCacheConfig(),
+            page_cache_pages=1024,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    def with_scheme(self, scheme: Scheme) -> "MachineConfig":
+        """The same machine under a different scheme — the comparison
+        idiom every benchmark uses."""
+        return self._replace(scheme=scheme)
+
+    def with_metadata_cache(self, size_bytes: int) -> "MachineConfig":
+        """Figure 15's sweep knob."""
+        return self._replace(
+            metadata_cache=MetadataCacheConfig(
+                size_bytes=size_bytes,
+                ways=self.metadata_cache.ways,
+                line_size=self.metadata_cache.line_size,
+                hit_latency=self.metadata_cache.hit_latency,
+                partitioned=self.metadata_cache.partitioned,
+            )
+        )
+
+    def _replace(self, **overrides) -> "MachineConfig":
+        from dataclasses import replace
+
+        return replace(self, **overrides)

@@ -1,0 +1,541 @@
+"""The full-system machine model: CPU accesses -> MMU -> caches -> NVM.
+
+A :class:`Machine` is the simulation's equivalent of the paper's Gem5
+full-system setup: one object owning the MMU/TLB, the three-level cache
+hierarchy, the scheme-appropriate memory controller, the mounted DAX
+filesystem, the keyring, and (for FsEncr) the MMIO channel between
+kernel and controller.  Workloads drive it through a small API:
+
+* file management — ``create_file`` / ``open_file`` / ``unlink`` /
+  ``chmod`` / ``mmap``
+* timing accesses — ``load`` / ``store`` / ``persist`` / ``compute``
+  (line-granularity trace driving; this is what benchmarks use)
+* functional accesses — ``store_bytes`` / ``load_bytes`` (real data
+  through real crypto; write-through, used by tests and examples)
+
+Timing accounting (1 GHz: cycles == ns):
+
+* loads serialise: translation + cache walk + (on miss) the controller's
+  read latency all join the critical path;
+* plain stores retire into the hierarchy: a miss costs the
+  read-for-ownership fetch, but the eventual write-back only charges
+  ``write_contention_factor`` of its device time (it contends for
+  bandwidth, it does not stall the pipeline);
+* ``persist`` models the PMDK idiom (store + clwb + sfence): the dirty
+  line's write is synchronous and charged in full — this is why the
+  paper's write-intensive persistent workloads hurt most.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.fsencr import FsEncrController
+from ..fs.ecryptfs import SoftwareEncryptionOverlay
+from ..fs.ext4dax import DaxFilesystem, FileHandle
+from ..kernel.costs import SoftwareCosts
+from ..kernel.keyring import Keyring
+from ..kernel.mmio import MMIORegisters
+from ..kernel.mmu import MMU
+from ..kernel.page_cache import PageCache, PageCacheConfig
+from ..mem.address import LINE_SIZE, PAGE_SIZE, line_address
+from ..mem.controller import MemoryRequest, PlainMemoryController
+from ..mem.hierarchy import CacheHierarchy
+from ..mem.nvm import NVMDevice
+from ..mem.stats import StatsRegistry
+from ..mem.wpq import WritePendingQueue
+from ..secmem.layout import MetadataLayout
+from ..secmem.secure_controller import BaselineSecureController
+from ..fs.permissions import UserDatabase
+from .config import MachineConfig, Scheme
+from .histograms import LatencyHistogram
+from .results import RunResult
+
+__all__ = ["Machine", "MappedRegion"]
+
+_FENCE_NS = 10.0  # sfence drain
+_ADR_DRAIN_NS = 60.0  # clwb completion into the ADR persistence domain
+
+
+@dataclass
+class MappedRegion:
+    """One mmap'd range of the process address space."""
+
+    vpn_start: int
+    pages: int
+    handle: Optional[FileHandle]  # None => anonymous memory
+    file_page_start: int = 0
+
+    def contains(self, vpn: int) -> bool:
+        return self.vpn_start <= vpn < self.vpn_start + self.pages
+
+    def file_page(self, vpn: int) -> int:
+        return self.file_page_start + (vpn - self.vpn_start)
+
+
+@dataclass
+class ProcessContext:
+    """One process's address-space state: its own MMU (page table +
+    TLB) and mapped regions.  Processes share the caches, the
+    controller, and the filesystem — like threads of different programs
+    on one socket."""
+
+    pid: int
+    mmu: MMU
+    regions: List[MappedRegion]
+    next_vpn: int = 0x1000
+
+
+class Machine:
+    """One simulated system under one scheme."""
+
+    def __init__(self, config: Optional[MachineConfig] = None) -> None:
+        self.config = config or MachineConfig()
+        self.registry = StatsRegistry()
+        self.clock_ns = 0.0
+
+        self.layout = MetadataLayout(data_bytes=self.config.total_memory_bytes)
+        device = NVMDevice(timing=self.config.nvm_timing, stats=self.registry.create("nvm"))
+        self.controller = self._build_controller(device)
+        self.hierarchy = CacheHierarchy(self.config.hierarchy, registry=self.registry)
+        self._processes: Dict[int, ProcessContext] = {}
+        self._current_pid = 0
+        self._create_process_context(0)
+
+        self.users = UserDatabase()
+        self.keyring = Keyring()
+        self.mmio = (
+            MMIORegisters(target=self.controller, stats=self.registry.create("mmio"))
+            if self.config.scheme is Scheme.FSENCR
+            else None
+        )
+        self.fs = DaxFilesystem(
+            pmem_base=self.config.pmem_base,
+            pmem_bytes=self.config.pmem_bytes,
+            users=self.users,
+            keyring=self.keyring,
+            mmio=self.mmio,
+            costs=self.config.software_costs,
+            stats=self.registry.create("fs"),
+        )
+        self.overlay = (
+            SoftwareEncryptionOverlay(
+                device=device,
+                costs=self.config.software_costs,
+                page_cache=PageCache(PageCacheConfig(self.config.page_cache_pages)),
+                stats=self.registry.create("sw_overlay"),
+                encrypted=self.config.scheme is Scheme.SOFTWARE_ENCRYPTION,
+            )
+            if self.config.scheme.uses_page_cache
+            else None
+        )
+
+        # Measurement window: the paper fast-forwards workloads to the
+        # post-file-creation point; mark_measurement_start() is that
+        # fast-forward boundary.
+        self._mark_ns = 0.0
+        self._mark_reads = 0
+        self._mark_writes = 0
+
+        # Optional per-access latency histogram (attach_histogram()).
+        self.latency_histogram: Optional[LatencyHistogram] = None
+
+        # Persist-path model: fixed ADR constant or an explicit WPQ.
+        self.wpq = (
+            WritePendingQueue(self.config.wpq, stats=self.registry.create("wpq"))
+            if self.config.model_wpq
+            else None
+        )
+
+        # Anonymous (non-PMEM) physical pages come from below the PMEM
+        # region; shadow page-cache copies also live there.
+        self._next_anon_pfn = 0x100
+        self._anon_limit_pfn = self.config.pmem_base // PAGE_SIZE
+        self._shadow_pfns: Dict[Tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def _build_controller(self, device: NVMDevice):
+        scheme = self.config.scheme
+        if scheme.uses_page_cache or scheme is Scheme.EXT4DAX_PLAIN:
+            return PlainMemoryController(device=device, stats=self.registry.create("controller"))
+        controller_cls = (
+            FsEncrController if scheme is Scheme.FSENCR else BaselineSecureController
+        )
+        controller = controller_cls(
+            layout=self.layout,
+            config=self.controller_config(),
+            device=device,
+            stats=self.registry.create("controller"),
+        )
+        # Surface the secure controller's sub-component counters in run
+        # results (metadata cache hit rates etc. feed the analyses).
+        self.registry.register(controller.metadata_cache.stats)
+        self.registry.register(controller.merkle.stats)
+        self.registry.register(controller.osiris.stats)
+        if isinstance(controller, FsEncrController):
+            self.registry.register(controller.ott.stats)
+            self.registry.register(controller.ott_region.stats)
+        return controller
+
+    def controller_config(self):
+        return self.config.controller_config()
+
+    # ------------------------------------------------------------------
+    # Processes
+    # ------------------------------------------------------------------
+
+    _CONTEXT_SWITCH_NS = 1200.0  # trap + scheduler + register state
+
+    def _create_process_context(self, pid: int) -> ProcessContext:
+        mmu = MMU(stats=self.registry.create(f"mmu" if pid == 0 else f"mmu_p{pid}"))
+        mmu.set_fault_handler(self._handle_fault)
+        context = ProcessContext(pid=pid, mmu=mmu, regions=[])
+        self._processes[pid] = context
+        return context
+
+    def create_process(self, pid: int) -> int:
+        """Create a new process (own page table, TLB, address space)."""
+        if pid in self._processes:
+            raise ValueError(f"pid {pid} already exists")
+        self._create_process_context(pid)
+        return pid
+
+    def switch_process(self, pid: int) -> None:
+        """Context switch: scheduler cost plus a full TLB flush (the
+        model has no ASIDs, matching the paper's era of kernels)."""
+        if pid not in self._processes:
+            raise ValueError(f"unknown pid {pid}")
+        if pid == self._current_pid:
+            return
+        self._processes[self._current_pid].mmu.tlb.flush()
+        self._current_pid = pid
+        self.clock_ns += self._CONTEXT_SWITCH_NS
+
+    @property
+    def current_pid(self) -> int:
+        return self._current_pid
+
+    @property
+    def _process(self) -> ProcessContext:
+        return self._processes[self._current_pid]
+
+    @property
+    def mmu(self) -> MMU:
+        return self._process.mmu
+
+    @property
+    def _regions(self) -> List[MappedRegion]:
+        return self._process.regions
+
+    @property
+    def device(self) -> NVMDevice:
+        return self.controller.device
+
+    @property
+    def costs(self) -> SoftwareCosts:
+        return self.config.software_costs
+
+    # ------------------------------------------------------------------
+    # Users and files
+    # ------------------------------------------------------------------
+
+    def add_user(self, uid: int, gid: int, passphrase: str, groups=frozenset()):
+        """Create a user and log them in (derive their FEKEK)."""
+        user = self.users.add_user(uid, gid, groups)
+        self.keyring.login(uid, passphrase)
+        return user
+
+    def create_file(self, path: str, uid: int, mode: int = 0o644, encrypted: bool = False) -> FileHandle:
+        handle, latency = self.fs.create(path, uid, mode=mode, encrypted=encrypted)
+        self.clock_ns += latency
+        return handle
+
+    def open_file(self, path: str, uid: int, write: bool = False) -> FileHandle:
+        handle, latency = self.fs.open(path, uid, write=write)
+        self.clock_ns += latency
+        return handle
+
+    def unlink(self, path: str, uid: int) -> None:
+        self.clock_ns += self.fs.unlink(path, uid)
+
+    def chmod(self, path: str, uid: int, mode: int) -> None:
+        self.fs.chmod(path, uid, mode)
+        self.clock_ns += self.costs.syscall_ns
+
+    def mmap(self, handle: FileHandle, pages: int, file_page_start: int = 0) -> int:
+        """Map ``pages`` of an open file; returns the base virtual address."""
+        if pages <= 0:
+            raise ValueError("pages must be positive")
+        process = self._process
+        region = MappedRegion(
+            vpn_start=process.next_vpn,
+            pages=pages,
+            handle=handle,
+            file_page_start=file_page_start,
+        )
+        process.regions.append(region)
+        process.next_vpn += pages + 8  # guard gap
+        self.clock_ns += self.costs.syscall_ns
+        return region.vpn_start * PAGE_SIZE
+
+    def mmap_anonymous(self, pages: int) -> int:
+        process = self._process
+        region = MappedRegion(vpn_start=process.next_vpn, pages=pages, handle=None)
+        process.regions.append(region)
+        process.next_vpn += pages + 8
+        self.clock_ns += self.costs.syscall_ns
+        return region.vpn_start * PAGE_SIZE
+
+    def munmap(self, base_vaddr: int) -> None:
+        """Unmap the region starting at ``base_vaddr``: PTEs dropped,
+        TLB shot down.  File contents persist (it is a DAX mapping, not
+        the file); a fresh mmap sees them again."""
+        vpn = base_vaddr // PAGE_SIZE
+        process = self._process
+        for index, region in enumerate(process.regions):
+            if region.vpn_start == vpn:
+                for mapped_vpn in range(region.vpn_start, region.vpn_start + region.pages):
+                    process.mmu.page_table.unmap(mapped_vpn)
+                    process.mmu.invalidate(mapped_vpn)
+                process.regions.pop(index)
+                self.clock_ns += self.costs.syscall_ns
+                return
+        raise ValueError(f"no mapping starts at {base_vaddr:#x}")
+
+    # ------------------------------------------------------------------
+    # Fault handling
+    # ------------------------------------------------------------------
+
+    def _region_for(self, vpn: int) -> Optional[MappedRegion]:
+        for region in self._regions:
+            if region.contains(vpn):
+                return region
+        return None
+
+    def _alloc_anon_pfn(self) -> int:
+        if self._next_anon_pfn >= self._anon_limit_pfn:
+            raise MemoryError("anonymous memory exhausted")
+        pfn = self._next_anon_pfn
+        self._next_anon_pfn += 1
+        return pfn
+
+    def _handle_fault(self, vpn: int, is_write: bool) -> float:
+        region = self._region_for(vpn)
+        if region is None:
+            from ..kernel.page_table import PageFault
+
+            raise PageFault(vpn, is_write)
+        if region.handle is None:
+            pfn = self._alloc_anon_pfn()
+            self.mmu.page_table.map(vpn, pfn, df=False)
+            return self.costs.minor_fault_ns
+
+        file_page = region.file_page(vpn)
+        if self.config.scheme.uses_page_cache:
+            # Non-DAX: the mapping points at the page-cache shadow copy;
+            # residency (and its cost) is charged per access.
+            key = (region.handle.inode.i_ino, file_page)
+            pfn = self._shadow_pfns.get(key)
+            if pfn is None:
+                pfn = self._alloc_anon_pfn()
+                self._shadow_pfns[key] = pfn
+            # Make sure the file page exists on the device too.
+            if region.handle.inode.extents.get(file_page) is None:
+                dev_pfn, _, _ = self.fs.fault_in(region.handle, file_page)
+            self.mmu.page_table.map(vpn, pfn, df=False)
+            return self.costs.minor_fault_ns
+
+        pfn, df, latency = self.fs.fault_in(region.handle, file_page)
+        self.mmu.page_table.map(vpn, pfn, df=df)
+        return latency
+
+    # ------------------------------------------------------------------
+    # Timing access path
+    # ------------------------------------------------------------------
+
+    def compute(self, ns: float) -> None:
+        """Model CPU work between memory operations."""
+        self.clock_ns += ns
+
+    def fence(self) -> None:
+        self.clock_ns += _FENCE_NS
+
+    def load(self, vaddr: int, size: int = 8) -> None:
+        self._access_range(vaddr, size, is_write=False)
+
+    def store(self, vaddr: int, size: int = 8) -> None:
+        self._access_range(vaddr, size, is_write=True)
+
+    def persist(self, vaddr: int, size: int = 8) -> None:
+        """store + clwb + sfence over the byte range (the PMDK idiom)."""
+        self._access_range(vaddr, size, is_write=True)
+        for line in self._lines_of(vaddr, size):
+            self._flush_line(line)
+        self.fence()
+
+    def _lines_of(self, vaddr: int, size: int) -> List[int]:
+        if size <= 0:
+            raise ValueError("size must be positive")
+        first = line_address(vaddr)
+        last = line_address(vaddr + size - 1)
+        return list(range(first, last + LINE_SIZE, LINE_SIZE))
+
+    def _access_range(self, vaddr: int, size: int, is_write: bool) -> None:
+        for line_vaddr in self._lines_of(vaddr, size):
+            self._access_line(line_vaddr, is_write)
+
+    def attach_histogram(self, name: str = "access_latency") -> LatencyHistogram:
+        """Start recording one latency sample per line access."""
+        self.latency_histogram = LatencyHistogram(name=name)
+        return self.latency_histogram
+
+    def _access_line(self, line_vaddr: int, is_write: bool) -> None:
+        access_start_ns = self.clock_ns
+        translation = self.mmu.translate(line_vaddr, is_write)
+        self.clock_ns += translation.latency_ns
+
+        if self.overlay is not None:
+            region = self._region_for(line_vaddr // PAGE_SIZE)
+            if region is not None and region.handle is not None:
+                inode = region.handle.inode
+                file_page = region.file_page(line_vaddr // PAGE_SIZE)
+                dev_pfn = inode.extents.get(file_page)
+                if dev_pfn is not None:
+                    self.clock_ns += self.overlay.access_page(
+                        inode.i_ino, file_page, dev_pfn * PAGE_SIZE, is_write
+                    )
+
+        outcome = self.hierarchy.access(translation.paddr, is_write)
+        self.clock_ns += outcome.latency_ns
+        if outcome.miss_addr is not None:
+            # Fill (read or read-for-ownership) from memory.
+            miss_latency = self.controller.access(
+                MemoryRequest(addr=outcome.miss_addr, is_write=False)
+            )
+            self.clock_ns += miss_latency
+        for wb_addr in outcome.writeback_addrs:
+            wb_latency = self.controller.access(
+                MemoryRequest(addr=wb_addr, is_write=True)
+            )
+            self.clock_ns += wb_latency * self.config.write_contention_factor
+        if self.latency_histogram is not None:
+            self.latency_histogram.record(self.clock_ns - access_start_ns)
+
+    def _flush_line(self, line_vaddr: int) -> None:
+        """clwb one line.
+
+        ADR semantics: the flush completes once the line reaches the
+        memory controller's persistence domain (write-pending queue), not
+        the PCM array — so the pipeline pays a fixed drain latency while
+        the array write (data + its security-metadata work) is charged at
+        the bandwidth-contention factor like any posted write.
+        """
+        translation = self.mmu.translate(line_vaddr, is_write=False)
+        self.clock_ns += translation.latency_ns
+        if self.hierarchy.flush_line(translation.paddr, invalidate=False):
+            if self.wpq is not None:
+                self.clock_ns += self.wpq.accept(self.clock_ns)
+            else:
+                self.clock_ns += _ADR_DRAIN_NS
+            latency = self.controller.access(
+                MemoryRequest(addr=translation.paddr, is_write=True, persist=True)
+            )
+            self.clock_ns += latency * self.config.write_contention_factor
+
+    # ------------------------------------------------------------------
+    # Functional access path (write-through; requires functional=True)
+    # ------------------------------------------------------------------
+
+    def store_bytes(self, vaddr: int, data: bytes) -> None:
+        """Write real bytes through the controller's crypto.
+
+        Line-granularity read-modify-write; bypasses the cache hierarchy
+        (functional mode is about data correctness, not timing fidelity).
+        """
+        offset = 0
+        while offset < len(data):
+            line_vaddr = line_address(vaddr + offset)
+            within = (vaddr + offset) - line_vaddr
+            chunk = data[offset : offset + (LINE_SIZE - within)]
+            translation = self.mmu.translate(line_vaddr, is_write=True)
+            self.clock_ns += translation.latency_ns
+            current = bytearray(self.controller.read_data(translation.paddr))
+            current[within : within + len(chunk)] = chunk
+            latency = self.controller.access(
+                MemoryRequest(addr=translation.paddr, is_write=True, data=bytes(current))
+            )
+            self.clock_ns += latency
+            offset += len(chunk)
+
+    def load_bytes(self, vaddr: int, size: int) -> bytes:
+        result = bytearray()
+        offset = 0
+        while offset < size:
+            line_vaddr = line_address(vaddr + offset)
+            within = (vaddr + offset) - line_vaddr
+            take = min(LINE_SIZE - within, size - offset)
+            translation = self.mmu.translate(line_vaddr, is_write=False)
+            self.clock_ns += translation.latency_ns
+            line = self.controller.read_data(translation.paddr)
+            result.extend(line[within : within + take])
+            offset += take
+        return bytes(result)
+
+    def copy_file(self, src_path: str, dst_path: str, uid: int) -> int:
+        """Kernel file copy (§VI "Copying or Moving Files Within Same
+        Device"): read each allocated page through the source mapping,
+        write it through a fresh mapping of the destination file.
+
+        The destination pages get their own FECBs at fault time, so the
+        copy is re-sealed under the new location's counters — spatial
+        uniqueness holds and no pad is ever replayed.  Returns the number
+        of bytes copied.  Functional mode only.
+        """
+        if not self.config.functional:
+            raise RuntimeError("copy_file requires functional=True")
+        src = self.open_file(src_path, uid=uid)
+        encrypted = src.inode.encrypted
+        if not self.fs.exists(dst_path):
+            self.create_file(dst_path, uid=uid, mode=src.inode.mode, encrypted=encrypted)
+        dst = self.open_file(dst_path, uid=uid, write=True)
+        copied = 0
+        for file_page in sorted(src.inode.extents):
+            src_base = self.mmap(src, pages=1, file_page_start=file_page)
+            dst_base = self.mmap(dst, pages=1, file_page_start=file_page)
+            data = self.load_bytes(src_base, PAGE_SIZE)
+            self.store_bytes(dst_base, data)
+            copied += PAGE_SIZE
+        return copied
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    @property
+    def elapsed_ns(self) -> float:
+        return self.clock_ns
+
+    def mark_measurement_start(self) -> None:
+        """Begin the measured window (post-setup fast-forward point).
+
+        ``result`` then reports elapsed time and NVM traffic relative to
+        this mark, mirroring the paper's "fast forward all applications
+        to the post-file-creation point" methodology (§V).
+        """
+        self._mark_ns = self.clock_ns
+        self._mark_reads = self.device.read_count
+        self._mark_writes = self.device.write_count
+
+    def result(self, workload: str) -> RunResult:
+        return RunResult(
+            workload=workload,
+            scheme=self.config.scheme.value,
+            elapsed_ns=self.clock_ns - self._mark_ns,
+            nvm_reads=self.device.read_count - self._mark_reads,
+            nvm_writes=self.device.write_count - self._mark_writes,
+            stats=dict(self.registry.snapshot()),
+        )

@@ -1,0 +1,133 @@
+"""Run records and the normalisation the paper's figures apply.
+
+Every benchmark run produces a :class:`RunResult`; figure harnesses pair
+a run with its baseline run and derive the three series the paper plots
+everywhere: slowdown, normalized NVM writes, normalized NVM reads.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+__all__ = ["RunResult", "Comparison", "ResultTable"]
+
+
+@dataclass
+class RunResult:
+    """One (workload, scheme) execution."""
+
+    workload: str
+    scheme: str
+    elapsed_ns: float
+    nvm_reads: int
+    nvm_writes: int
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        return {
+            "workload": self.workload,
+            "scheme": self.scheme,
+            "elapsed_ns": self.elapsed_ns,
+            "nvm_reads": self.nvm_reads,
+            "nvm_writes": self.nvm_writes,
+            "stats": self.stats,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict) -> "RunResult":
+        return cls(
+            workload=raw["workload"],
+            scheme=raw["scheme"],
+            elapsed_ns=raw["elapsed_ns"],
+            nvm_reads=raw["nvm_reads"],
+            nvm_writes=raw["nvm_writes"],
+            stats=dict(raw.get("stats", {})),
+        )
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A run normalised to its baseline — one bar in a paper figure."""
+
+    workload: str
+    scheme: str
+    slowdown: float
+    normalized_writes: float
+    normalized_reads: float
+
+    @property
+    def overhead_percent(self) -> float:
+        return (self.slowdown - 1.0) * 100.0
+
+    @staticmethod
+    def of(run: RunResult, baseline: RunResult) -> "Comparison":
+        if run.workload != baseline.workload:
+            raise ValueError(
+                f"comparing different workloads: {run.workload} vs {baseline.workload}"
+            )
+
+        def ratio(a: float, b: float) -> float:
+            if b == 0:
+                return 0.0 if a == 0 else float("inf")
+            return a / b
+
+        return Comparison(
+            workload=run.workload,
+            scheme=run.scheme,
+            slowdown=ratio(run.elapsed_ns, baseline.elapsed_ns),
+            normalized_writes=ratio(run.nvm_writes, baseline.nvm_writes),
+            normalized_reads=ratio(run.nvm_reads, baseline.nvm_reads),
+        )
+
+
+class ResultTable:
+    """Accumulates comparisons and renders the paper-style text table."""
+
+    def __init__(self, title: str) -> None:
+        self.title = title
+        self.rows: List[Comparison] = []
+
+    def add(self, comparison: Comparison) -> None:
+        self.rows.append(comparison)
+
+    def geometric_mean(self, attr: str = "slowdown") -> float:
+        values = [getattr(row, attr) for row in self.rows]
+        finite = [v for v in values if v > 0 and v != float("inf")]
+        if not finite:
+            return 0.0
+        product = 1.0
+        for value in finite:
+            product *= value
+        return product ** (1.0 / len(finite))
+
+    def mean(self, attr: str = "slowdown") -> float:
+        values = [getattr(row, attr) for row in self.rows]
+        return sum(values) / len(values) if values else 0.0
+
+    def render(self) -> str:
+        header = f"{'workload':<18}{'scheme':<22}{'slowdown':>10}{'writes':>10}{'reads':>10}"
+        lines = [self.title, "=" * len(header), header, "-" * len(header)]
+        for row in self.rows:
+            lines.append(
+                f"{row.workload:<18}{row.scheme:<22}"
+                f"{row.slowdown:>10.3f}{row.normalized_writes:>10.3f}{row.normalized_reads:>10.3f}"
+            )
+        lines.append("-" * len(header))
+        lines.append(
+            f"{'average':<40}{self.mean('slowdown'):>10.3f}"
+            f"{self.mean('normalized_writes'):>10.3f}{self.mean('normalized_reads'):>10.3f}"
+        )
+        return "\n".join(lines)
+
+    def save_json(self, path: Path, extra: Optional[Dict] = None) -> None:
+        payload = {
+            "title": self.title,
+            "rows": [row.__dict__ for row in self.rows],
+            "mean_slowdown": self.mean("slowdown"),
+        }
+        if extra:
+            payload.update(extra)
+        Path(path).write_text(json.dumps(payload, indent=2))

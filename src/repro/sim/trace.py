@@ -1,0 +1,176 @@
+"""Access-trace recording and replay.
+
+A :class:`TraceRecorder` wraps a machine and logs every timing-path
+operation a workload issues; the resulting :class:`Trace` replays
+verbatim onto any other machine.  This is how the library supports the
+classic trace-driven methodology beyond its built-in workloads:
+
+* capture once, replay under every scheme — eliminating even the
+  (already deterministic) workload re-execution between comparisons;
+* export traces to a portable JSON-lines file for external tools;
+* import traces produced elsewhere (e.g. converted PIN/valgrind logs)
+  and drive the FsEncr model with real applications.
+
+Replay requires the target machine to have the same virtual layout the
+trace was captured against, so the recorder also logs the file/mmap
+preamble and replays it first.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional
+
+from .machine import Machine
+
+__all__ = ["TraceOp", "Trace", "TraceRecorder", "replay"]
+
+# Operation mnemonics.
+LOAD = "load"
+STORE = "store"
+PERSIST = "persist"
+COMPUTE = "compute"
+CREATE = "create"
+OPEN = "open"
+MMAP = "mmap"
+MARK = "mark"
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One logged event.  Field meaning depends on ``op``:
+
+    load/store/persist: (addr=vaddr, size)
+    compute:            (size=ns)
+    create/open:        (path, addr=uid, size=mode/writable, flag=encrypted)
+    mmap:               (path, size=pages, addr=file_page_start)
+    """
+
+    op: str
+    addr: int = 0
+    size: int = 0
+    path: str = ""
+    flag: bool = False
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"op": self.op, "addr": self.addr, "size": self.size,
+             "path": self.path, "flag": self.flag}
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceOp":
+        raw = json.loads(line)
+        return cls(op=raw["op"], addr=raw["addr"], size=raw["size"],
+                   path=raw["path"], flag=raw["flag"])
+
+
+@dataclass
+class Trace:
+    """An ordered list of operations plus the capture's identity."""
+
+    name: str
+    ops: List[TraceOp] = field(default_factory=list)
+
+    def append(self, op: TraceOp) -> None:
+        self.ops.append(op)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def save(self, path: Path) -> None:
+        with open(path, "w") as fh:
+            fh.write(json.dumps({"name": self.name}) + "\n")
+            for op in self.ops:
+                fh.write(op.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: Path) -> "Trace":
+        with open(path) as fh:
+            header = json.loads(fh.readline())
+            ops = [TraceOp.from_json(line) for line in fh if line.strip()]
+        return cls(name=header["name"], ops=ops)
+
+
+class TraceRecorder:
+    """A Machine proxy that logs the workload-facing API while passing
+    every call through to the wrapped machine."""
+
+    def __init__(self, machine: Machine, name: str = "trace") -> None:
+        self._machine = machine
+        self.trace = Trace(name=name)
+
+    # -- logged operations ---------------------------------------------------
+
+    def create_file(self, path: str, uid: int, mode: int = 0o644, encrypted: bool = False):
+        self.trace.append(TraceOp(op=CREATE, path=path, addr=uid, size=mode, flag=encrypted))
+        return self._machine.create_file(path, uid, mode=mode, encrypted=encrypted)
+
+    def open_file(self, path: str, uid: int, write: bool = False):
+        self.trace.append(TraceOp(op=OPEN, path=path, addr=uid, flag=write))
+        return self._machine.open_file(path, uid, write=write)
+
+    def mmap(self, handle, pages: int, file_page_start: int = 0) -> int:
+        self.trace.append(
+            TraceOp(op=MMAP, path="", size=pages, addr=file_page_start)
+        )
+        return self._machine.mmap(handle, pages, file_page_start)
+
+    def load(self, vaddr: int, size: int = 8) -> None:
+        self.trace.append(TraceOp(op=LOAD, addr=vaddr, size=size))
+        self._machine.load(vaddr, size)
+
+    def store(self, vaddr: int, size: int = 8) -> None:
+        self.trace.append(TraceOp(op=STORE, addr=vaddr, size=size))
+        self._machine.store(vaddr, size)
+
+    def persist(self, vaddr: int, size: int = 8) -> None:
+        self.trace.append(TraceOp(op=PERSIST, addr=vaddr, size=size))
+        self._machine.persist(vaddr, size)
+
+    def compute(self, ns: float) -> None:
+        self.trace.append(TraceOp(op=COMPUTE, size=int(ns)))
+        self._machine.compute(ns)
+
+    def mark_measurement_start(self) -> None:
+        self.trace.append(TraceOp(op=MARK))
+        self._machine.mark_measurement_start()
+
+    # -- passthrough for everything else ------------------------------------
+
+    def __getattr__(self, item):
+        return getattr(self._machine, item)
+
+
+def replay(trace: Trace, machine: Machine) -> None:
+    """Re-execute a trace on a fresh machine.
+
+    ``mmap`` ops bind to the most recently created/opened handle, which
+    matches how the recorder's single-threaded workloads behave.
+    """
+    last_handle = None
+    for op in trace.ops:
+        if op.op == CREATE:
+            last_handle = machine.create_file(
+                op.path, uid=op.addr, mode=op.size, encrypted=op.flag
+            )
+        elif op.op == OPEN:
+            last_handle = machine.open_file(op.path, uid=op.addr, write=op.flag)
+        elif op.op == MMAP:
+            if last_handle is None:
+                raise ValueError("trace mmap with no preceding create/open")
+            machine.mmap(last_handle, pages=op.size, file_page_start=op.addr)
+        elif op.op == LOAD:
+            machine.load(op.addr, op.size)
+        elif op.op == STORE:
+            machine.store(op.addr, op.size)
+        elif op.op == PERSIST:
+            machine.persist(op.addr, op.size)
+        elif op.op == COMPUTE:
+            machine.compute(float(op.size))
+        elif op.op == MARK:
+            machine.mark_measurement_start()
+        else:
+            raise ValueError(f"unknown trace op {op.op!r}")

@@ -1,0 +1,85 @@
+"""Workloads: Table II's benchmark suite, built from scratch.
+
+Persistent data structures (B+Tree, chained hashmap, crit-bit tree) over
+a PMDK-style pool allocator, driven by the PMEMKV, Whisper, and in-house
+micro-benchmark patterns the paper evaluates.
+"""
+
+from .base import Workload, WorkloadComparison, compare_schemes, run_workload
+from .btree import PersistentBTree
+from .ctree import PersistentCritbitTree
+from .dax_micro import (
+    DAX_MICRO_BENCHMARKS,
+    DaxMicro1,
+    DaxMicro2,
+    DaxMicro3,
+    DaxMicro4,
+    make_dax_micro,
+)
+from .hashmap import PersistentHashmap
+from .many_files import ManyFilesWorkload
+from .palloc import PersistentAllocator, PoolExhausted
+from .pmemkv import (
+    LARGE_VALUE,
+    PMEMKV_BENCHMARKS,
+    PMEMKV_EXTENSIONS,
+    SMALL_VALUE,
+    Deleterandom,
+    Readmissing,
+    Fillrandom,
+    Fillseq,
+    Overwrite,
+    PmemkvWorkload,
+    Readrandom,
+    Readseq,
+    make_pmemkv_workload,
+)
+from .transactions import BankAccounts, BankWorkload, RedoLog, TxError
+from .whisper import (
+    WHISPER_BENCHMARKS,
+    CtreeWorkload,
+    HashmapWorkload,
+    YcsbWorkload,
+    make_whisper_workload,
+)
+
+__all__ = [
+    "Workload",
+    "WorkloadComparison",
+    "run_workload",
+    "compare_schemes",
+    "PersistentAllocator",
+    "PoolExhausted",
+    "PersistentBTree",
+    "PersistentHashmap",
+    "ManyFilesWorkload",
+    "BankAccounts",
+    "BankWorkload",
+    "RedoLog",
+    "TxError",
+    "PersistentCritbitTree",
+    "PmemkvWorkload",
+    "Fillseq",
+    "Fillrandom",
+    "Overwrite",
+    "Readrandom",
+    "Readseq",
+    "PMEMKV_BENCHMARKS",
+    "PMEMKV_EXTENSIONS",
+    "Readmissing",
+    "Deleterandom",
+    "SMALL_VALUE",
+    "LARGE_VALUE",
+    "make_pmemkv_workload",
+    "YcsbWorkload",
+    "HashmapWorkload",
+    "CtreeWorkload",
+    "WHISPER_BENCHMARKS",
+    "make_whisper_workload",
+    "DaxMicro1",
+    "DaxMicro2",
+    "DaxMicro3",
+    "DaxMicro4",
+    "DAX_MICRO_BENCHMARKS",
+    "make_dax_micro",
+]

@@ -1,0 +1,103 @@
+"""Workload framework: the contract between benchmarks and the machine.
+
+A workload is a deterministic trace generator *with application
+structure*: it opens/creates files on the machine's DAX filesystem, maps
+them, and drives loads/stores/persists the way the real application's
+data structures would.  Determinism (seeded RNGs, no wall clock) makes
+scheme comparisons exact: the same workload object replayed on two
+machines issues the identical logical operation sequence, so every
+difference in the result is the scheme's.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ..sim.config import MachineConfig, Scheme
+from ..sim.machine import Machine
+from ..sim.results import Comparison, ResultTable, RunResult
+
+__all__ = ["Workload", "run_workload", "compare_schemes", "WorkloadComparison"]
+
+_DEFAULT_UID = 1000
+_DEFAULT_GID = 100
+
+
+class Workload(ABC):
+    """Base class: subclasses implement :meth:`run` against a machine."""
+
+    #: Human-readable benchmark identifier (Table II names).
+    name: str = "workload"
+
+    def __init__(self, seed: int = 1234) -> None:
+        self.seed = seed
+
+    def rng(self) -> random.Random:
+        """A fresh deterministic RNG (one per run, so replays agree)."""
+        return random.Random(self.seed)
+
+    def setup(self, machine: Machine) -> None:
+        """Default setup: one logged-in user.  Subclasses extend."""
+        machine.add_user(uid=_DEFAULT_UID, gid=_DEFAULT_GID, passphrase="workload-pass")
+
+    @property
+    def uid(self) -> int:
+        return _DEFAULT_UID
+
+    @abstractmethod
+    def run(self, machine: Machine) -> None:
+        """Execute the workload's operations against the machine."""
+
+    def wants_encryption(self, scheme: Scheme) -> bool:
+        """Whether files are created encrypted under this scheme.
+
+        Encrypted under FsEncr and the software scheme; plain ext4-dax
+        and the memory-encryption-only baseline have no file keys.
+        """
+        return scheme.has_file_encryption
+
+
+def run_workload(config: MachineConfig, workload: Workload) -> RunResult:
+    """Build a machine, run the workload, return the result record."""
+    machine = Machine(config)
+    workload.setup(machine)
+    workload.run(machine)
+    return machine.result(workload.name)
+
+
+@dataclass
+class WorkloadComparison:
+    """All schemes' results for one workload, plus baseline-normalised rows."""
+
+    workload: str
+    runs: Dict[str, RunResult]
+
+    def against(self, baseline_scheme: Scheme, scheme: Scheme) -> Comparison:
+        return Comparison.of(
+            self.runs[scheme.value], self.runs[baseline_scheme.value]
+        )
+
+
+def compare_schemes(
+    workload_factory,
+    config: Optional[MachineConfig] = None,
+    schemes: Iterable[Scheme] = (Scheme.BASELINE_SECURE, Scheme.FSENCR),
+) -> WorkloadComparison:
+    """Run one workload under several schemes on otherwise-equal machines.
+
+    ``workload_factory()`` must return a *fresh* workload each call —
+    workloads may hold per-run state (allocator cursors, in-memory
+    indices), so sharing an instance across schemes would skew replays.
+    """
+    base_config = config or MachineConfig()
+    runs: Dict[str, RunResult] = {}
+    name = None
+    for scheme in schemes:
+        workload = workload_factory()
+        name = workload.name
+        runs[scheme.value] = run_workload(base_config.with_scheme(scheme), workload)
+    assert name is not None, "schemes iterable was empty"
+    return WorkloadComparison(workload=name, runs=runs)

@@ -1,0 +1,128 @@
+"""In-house synthetic DAX micro-benchmarks (Table II, top block).
+
+Four adversarial access patterns over a memory-mapped persistent file,
+designed to stress the security-metadata path rather than resemble any
+application:
+
+* **DAX-1** — read 1 byte after every 16 bytes: 4 touches per cache
+  line, high spatial locality, so each counter line amortises over many
+  accesses.
+* **DAX-2** — read 1 byte after every 128 bytes: every touch is a new
+  line and a counter line covers only 32 touches — the high-metadata-
+  miss pattern that tops Figures 12-14.
+* **DAX-3** — two 16 B arrays at random distant locations, contents
+  swapped: random placement misses the metadata cache on arrival, then
+  the sequential swap within each array reuses one MECB/FECB line.
+* **DAX-4** — the same with 128 B arrays: more sequential reuse per
+  random placement, so better metadata utilisation than DAX-3.
+"""
+
+from __future__ import annotations
+
+from ..mem.address import PAGE_SIZE
+from ..sim.machine import Machine
+from .base import Workload
+
+__all__ = ["DaxMicro1", "DaxMicro2", "DaxMicro3", "DaxMicro4", "DAX_MICRO_BENCHMARKS", "make_dax_micro"]
+
+_FILE_PAGES = 2048  # 8 MB mapped region — larger than the metadata cache covers
+
+
+class _DaxMicroBase(Workload):
+    def __init__(self, iterations: int = 20000, seed: int = 7) -> None:
+        super().__init__(seed=seed)
+        self.iterations = iterations
+
+    def _map_file(self, machine: Machine) -> int:
+        encrypted = machine.config.scheme.has_file_encryption
+        handle = machine.create_file(
+            f"/pmem/{self.name}.dat", uid=self.uid, encrypted=encrypted
+        )
+        base = machine.mmap(handle, pages=_FILE_PAGES)
+        return base
+
+
+class _StrideMicro(_DaxMicroBase):
+    """Shared driver for DAX-1/DAX-2: byte reads at a fixed stride."""
+
+    stride = 16
+
+    def run(self, machine: Machine) -> None:
+        base = self._map_file(machine)
+        span = _FILE_PAGES * PAGE_SIZE
+        machine.mark_measurement_start()
+        offset = 0
+        for _ in range(self.iterations):
+            machine.load(base + offset, 1)
+            offset = (offset + self.stride) % span
+
+
+class DaxMicro1(_StrideMicro):
+    """1 byte after each 16 bytes."""
+
+    name = "DAX-1"
+    stride = 16
+
+
+class DaxMicro2(_StrideMicro):
+    """1 byte after each 128 bytes."""
+
+    name = "DAX-2"
+    stride = 128
+
+
+class _SwapMicro(_DaxMicroBase):
+    """Shared driver for DAX-3/DAX-4: init two arrays, swap contents."""
+
+    array_bytes = 16
+
+    def run(self, machine: Machine) -> None:
+        base = self._map_file(machine)
+        span_pages = _FILE_PAGES - 1
+        rng = self.rng()
+        machine.mark_measurement_start()
+        for _ in range(self.iterations // max(1, self.array_bytes // 8)):
+            # Two arrays at random, distinct locations.
+            loc_a = base + rng.randrange(span_pages) * PAGE_SIZE + rng.randrange(0, PAGE_SIZE - self.array_bytes, 8)
+            loc_b = base + rng.randrange(span_pages) * PAGE_SIZE + rng.randrange(0, PAGE_SIZE - self.array_bytes, 8)
+            # Initialise both arrays.
+            machine.persist(loc_a, self.array_bytes)
+            machine.persist(loc_b, self.array_bytes)
+            # Swap word by word: load both sides, store both sides.
+            for word in range(0, self.array_bytes, 8):
+                machine.load(loc_a + word, 8)
+                machine.load(loc_b + word, 8)
+                machine.store(loc_a + word, 8)
+                machine.store(loc_b + word, 8)
+            machine.persist(loc_a, self.array_bytes)
+            machine.persist(loc_b, self.array_bytes)
+
+
+class DaxMicro3(_SwapMicro):
+    """Two 16 B arrays, random locations, contents swapped."""
+
+    name = "DAX-3"
+    array_bytes = 16
+
+
+class DaxMicro4(_SwapMicro):
+    """Two 128 B arrays, random locations, contents swapped."""
+
+    name = "DAX-4"
+    array_bytes = 128
+
+
+#: Figures 12-14's x-axis, in paper order.
+DAX_MICRO_BENCHMARKS = [
+    ("DAX-1", DaxMicro1),
+    ("DAX-2", DaxMicro2),
+    ("DAX-3", DaxMicro3),
+    ("DAX-4", DaxMicro4),
+]
+
+
+def make_dax_micro(name: str, iterations: int = 20000, seed: int = 7) -> _DaxMicroBase:
+    for bench_name, cls in DAX_MICRO_BENCHMARKS:
+        if bench_name == name:
+            return cls(iterations=iterations, seed=seed)
+    raise KeyError(f"unknown DAX micro-benchmark {name!r}")

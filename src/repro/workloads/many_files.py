@@ -1,0 +1,63 @@
+"""Many-files workload: pressure on the Open Tunnel Table.
+
+The paper argues OTT management is negligible because installs happen
+only at file creation/open and the table holds 1024 keys.  This
+workload is the adversarial probe of that claim: it creates *more
+encrypted files than the OTT holds* and then touches them round-robin,
+so every access cycle works through keys that may have spilled to the
+encrypted region.
+
+Used by the OTT ablation benchmark (sweeping the table size) rather
+than by any paper figure.
+"""
+
+from __future__ import annotations
+
+from ..mem.address import PAGE_SIZE
+from ..sim.machine import Machine
+from .base import Workload
+
+__all__ = ["ManyFilesWorkload"]
+
+
+class ManyFilesWorkload(Workload):
+    """Create ``num_files`` encrypted files; touch them round-robin."""
+
+    name = "ManyFiles"
+
+    def __init__(
+        self,
+        num_files: int = 64,
+        rounds: int = 4,
+        pages_per_file: int = 2,
+        touches_per_round: int = 2,
+        seed: int = 11,
+    ) -> None:
+        super().__init__(seed=seed)
+        if min(num_files, rounds, pages_per_file, touches_per_round) < 1:
+            raise ValueError("all workload dimensions must be positive")
+        self.num_files = num_files
+        self.rounds = rounds
+        self.pages_per_file = pages_per_file
+        self.touches_per_round = touches_per_round
+
+    def run(self, machine: Machine) -> None:
+        encrypted = machine.config.scheme.has_file_encryption
+        bases = []
+        for index in range(self.num_files):
+            handle = machine.create_file(
+                f"/pmem/shard-{index:04d}.dat", uid=self.uid, encrypted=encrypted
+            )
+            base = machine.mmap(handle, pages=self.pages_per_file)
+            bases.append(base)
+        machine.mark_measurement_start()
+
+        rng = self.rng()
+        span = self.pages_per_file * PAGE_SIZE
+        for _ in range(self.rounds):
+            for base in bases:
+                for _ in range(self.touches_per_round):
+                    offset = rng.randrange(0, span - 64, 64)
+                    machine.store(base + offset, 64)
+                    machine.load(base + offset, 64)
+                machine.compute(100.0)

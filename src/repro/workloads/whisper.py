@@ -1,0 +1,199 @@
+"""Whisper-style persistent benchmarks: YCSB, Hashmap, CTree (Table II).
+
+* **YCSB** — the Yahoo Cloud Serving Benchmark shape the paper uses:
+  R/W ratio 0.5 over a pre-loaded key-value store (hashmap backend,
+  like Whisper's echo/YCSB pairing), skewed key popularity.
+* **Hashmap** — direct exercise of the persistent chained hashmap,
+  data-size 128 B: insert/get mix.
+* **CTree** — the persistent crit-bit tree, data-size 128 B.
+
+The paper runs these with 2 threads/workers; the model interleaves two
+logical workers' operation streams onto the shared hierarchy, which is
+where multi-threading's cache pressure shows up in a trace-driven model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from ..mem.address import PAGE_SIZE
+from ..sim.machine import Machine
+from .base import Workload
+from .ctree import PersistentCritbitTree
+from .hashmap import PersistentHashmap
+from .palloc import PersistentAllocator
+
+__all__ = ["YcsbWorkload", "HashmapWorkload", "CtreeWorkload", "WHISPER_BENCHMARKS", "make_whisper_workload"]
+
+_DATA_SIZE = 128
+
+
+def _interleave(streams: List[List[Callable[[], None]]]) -> List[Callable[[], None]]:
+    """Round-robin two (or more) workers' operation lists."""
+    merged: List[Callable[[], None]] = []
+    cursors = [0] * len(streams)
+    remaining = sum(len(s) for s in streams)
+    worker = 0
+    while remaining:
+        stream = streams[worker % len(streams)]
+        cursor = cursors[worker % len(streams)]
+        if cursor < len(stream):
+            merged.append(stream[cursor])
+            cursors[worker % len(streams)] += 1
+            remaining -= 1
+        worker += 1
+    return merged
+
+
+class _WhisperBase(Workload):
+    """Shared pool/file scaffolding for the three Whisper workloads."""
+
+    def __init__(self, ops: int = 2000, workers: int = 2, seed: int = 99) -> None:
+        super().__init__(seed=seed)
+        self.ops = ops
+        self.workers = max(1, workers)
+
+    def _make_pool(self, machine: Machine, pages: int) -> PersistentAllocator:
+        encrypted = machine.config.scheme.has_file_encryption
+        handle = machine.create_file(
+            f"/pmem/{self.name}.pool", uid=self.uid, encrypted=encrypted
+        )
+        base = machine.mmap(handle, pages=pages)
+        return PersistentAllocator(machine, base, pages * PAGE_SIZE)
+
+    def _pool_pages(self) -> int:
+        per_op = _DATA_SIZE + 128
+        return min(-(-self.ops * per_op * 3 // PAGE_SIZE) + 64, 16 * 1024)
+
+
+#: Canonical YCSB core-workload read ratios.  The paper runs the A-like
+#: 50/50 mix; the rest are extensions for the read-ratio ablation.
+YCSB_MIXES = {
+    "A": 0.5,   # update heavy
+    "B": 0.95,  # read mostly
+    "C": 1.0,   # read only
+    "D": 0.95,  # read latest (approximated: same ratio, hot = newest)
+}
+
+
+class YcsbWorkload(_WhisperBase):
+    """YCSB over a persistent KV store; workers=2.
+
+    The paper's configuration is the A-like 50/50 read/write mix; the
+    ``mix`` parameter selects the other core workloads for the
+    read-ratio ablation.  Keys follow an 80/20 hot-set skew (a
+    light-weight stand-in for YCSB's zipfian): 80 % of operations touch
+    the hottest 20 % of keys (for D, the most recently inserted 20 %).
+    """
+
+    name = "YCSB"
+
+    def __init__(self, ops: int = 2000, workers: int = 2, seed: int = 99, mix: str = "A") -> None:
+        super().__init__(ops=ops, workers=workers, seed=seed)
+        if mix not in YCSB_MIXES:
+            raise KeyError(f"unknown YCSB mix {mix!r} (have {sorted(YCSB_MIXES)})")
+        self.mix = mix
+        self.read_ratio = YCSB_MIXES[mix]
+        if mix != "A":
+            self.name = f"YCSB-{mix}"
+
+    def run(self, machine: Machine) -> None:
+        allocator = self._make_pool(machine, self._pool_pages())
+        store = PersistentHashmap(machine, allocator, buckets=1024, data_size=_DATA_SIZE)
+        records = max(256, self.ops)
+        for key in range(records):
+            store.put(key)
+        machine.mark_measurement_start()
+
+        rng = self.rng()
+        hot_span = max(1, records // 5)
+        hot_base = records - hot_span if self.mix == "D" else 0  # D: latest keys
+
+        def pick_key() -> int:
+            if rng.random() < 0.8:
+                return hot_base + rng.randrange(hot_span)
+            return rng.randrange(records)
+
+        streams: List[List[Callable[[], None]]] = []
+        per_worker = self.ops // self.workers
+        for _ in range(self.workers):
+            ops: List[Callable[[], None]] = []
+            for _ in range(per_worker):
+                key = pick_key()
+                if rng.random() < self.read_ratio:
+                    ops.append(lambda k=key: store.get(k))
+                else:
+                    ops.append(lambda k=key: store.put(k))
+            streams.append(ops)
+        for op in _interleave(streams):
+            op()
+
+
+class HashmapWorkload(_WhisperBase):
+    """hashmap: data-size=128B, threads=2 — insert-heavy with lookups."""
+
+    name = "Hashmap"
+
+    def run(self, machine: Machine) -> None:
+        allocator = self._make_pool(machine, self._pool_pages())
+        store = PersistentHashmap(machine, allocator, buckets=1024, data_size=_DATA_SIZE)
+        machine.mark_measurement_start()
+
+        rng = self.rng()
+        streams: List[List[Callable[[], None]]] = []
+        per_worker = self.ops // self.workers
+        for worker in range(self.workers):
+            ops: List[Callable[[], None]] = []
+            for i in range(per_worker):
+                key = worker * per_worker + i
+                if i % 4 == 3:
+                    probe = rng.randrange(max(1, key))
+                    ops.append(lambda k=probe: store.get(k))
+                else:
+                    ops.append(lambda k=key: store.put(k))
+            streams.append(ops)
+        for op in _interleave(streams):
+            op()
+
+
+class CtreeWorkload(_WhisperBase):
+    """ctree: data-size=128B, threads=2 — pointer-chasing inserts."""
+
+    name = "CTree"
+
+    def run(self, machine: Machine) -> None:
+        allocator = self._make_pool(machine, self._pool_pages())
+        tree = PersistentCritbitTree(machine, allocator, data_size=_DATA_SIZE)
+        machine.mark_measurement_start()
+
+        rng = self.rng()
+        keys = list(range(self.ops))
+        rng.shuffle(keys)
+        streams: List[List[Callable[[], None]]] = []
+        per_worker = self.ops // self.workers
+        for worker in range(self.workers):
+            chunk = keys[worker * per_worker : (worker + 1) * per_worker]
+            ops: List[Callable[[], None]] = []
+            for i, key in enumerate(chunk):
+                if i % 4 == 3:
+                    ops.append(lambda k=key: tree.get(k))
+                else:
+                    ops.append(lambda k=key: tree.put(k))
+            streams.append(ops)
+        for op in _interleave(streams):
+            op()
+
+
+#: Figure 3 and Figure 11's x-axis, in paper order.
+WHISPER_BENCHMARKS = [
+    ("YCSB", YcsbWorkload),
+    ("Hashmap", HashmapWorkload),
+    ("CTree", CtreeWorkload),
+]
+
+
+def make_whisper_workload(name: str, ops: int = 2000, seed: int = 99) -> _WhisperBase:
+    for bench_name, cls in WHISPER_BENCHMARKS:
+        if bench_name == name:
+            return cls(ops=ops, seed=seed)
+    raise KeyError(f"unknown Whisper benchmark {name!r}")

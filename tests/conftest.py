@@ -1,0 +1,59 @@
+"""Shared fixtures: small layouts and pre-wired controllers/machines.
+
+Functional controllers use a deliberately small data region so the
+Merkle tree stays shallow and pure-Python AES stays fast; nothing in the
+semantics depends on region size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FsEncrController
+from repro.secmem import BaselineSecureController, MetadataLayout, SecureControllerConfig
+from repro.sim import Machine, MachineConfig, Scheme
+
+
+SMALL_LAYOUT_KWARGS = dict(data_bytes=16 * 1024 * 1024, ott_region_bytes=32 * 1024)
+
+
+@pytest.fixture
+def small_layout() -> MetadataLayout:
+    return MetadataLayout(**SMALL_LAYOUT_KWARGS)
+
+
+@pytest.fixture
+def functional_config() -> SecureControllerConfig:
+    return SecureControllerConfig(functional=True)
+
+
+@pytest.fixture
+def baseline_controller(small_layout, functional_config) -> BaselineSecureController:
+    return BaselineSecureController(layout=small_layout, config=functional_config)
+
+
+@pytest.fixture
+def fsencr_controller(small_layout, functional_config) -> FsEncrController:
+    return FsEncrController(layout=small_layout, config=functional_config)
+
+
+@pytest.fixture
+def timing_fsencr(small_layout) -> FsEncrController:
+    return FsEncrController(layout=small_layout)
+
+
+def make_machine(scheme: Scheme = Scheme.FSENCR, functional: bool = False, **overrides) -> Machine:
+    config = MachineConfig(scheme=scheme, functional=functional, **overrides)
+    machine = Machine(config)
+    machine.add_user(uid=1000, gid=100, passphrase="fixture-pass")
+    return machine
+
+
+@pytest.fixture
+def fsencr_machine() -> Machine:
+    return make_machine(Scheme.FSENCR)
+
+
+@pytest.fixture
+def functional_machine() -> Machine:
+    return make_machine(Scheme.FSENCR, functional=True)

@@ -1,0 +1,69 @@
+"""Table I execution and the experiment harness plumbing."""
+
+import pytest
+
+from repro.analysis import (
+    SCENARIOS,
+    attacker_decrypt,
+    render_table1,
+    table1_matrix,
+)
+from repro.analysis.security import _build_systems
+
+
+class TestTable1:
+    def test_matrix_matches_paper(self):
+        """The paper's Table I, row for row."""
+        matrix = table1_matrix()
+        rows = [row for _, row in matrix]
+        assert rows[0] == [True, False, False]  # memory key only
+        assert rows[1] == [True, True, False]  # + filesystem key
+        assert rows[2] == [True, True, True]  # + all file keys
+
+    def test_render_contains_verdicts(self):
+        text = render_table1()
+        assert "System A" in text and "Yes" in text and "No" in text
+
+    def test_scenarios_are_cumulative(self):
+        assert SCENARIOS[0].memory_key
+        assert SCENARIOS[1].single_fs_key
+        assert SCENARIOS[2].all_file_keys
+
+
+class TestAttackerMechanics:
+    def test_no_keys_no_luck(self):
+        from repro.analysis.security import Scenario
+
+        systems = _build_systems()
+        nothing = Scenario(memory_key=False, single_fs_key=False, all_file_keys=False)
+        for system in systems:
+            for file_id in system.addr_of_file:
+                assert not attacker_decrypt(system, nothing, file_id)
+
+    def test_file_keys_without_memory_key_insufficient(self):
+        """Defence-in-depth in the other direction: file keys alone
+        cannot strip the memory encryption layer."""
+        from repro.analysis.security import Scenario
+
+        only_file_keys = Scenario(memory_key=False, single_fs_key=True, all_file_keys=True)
+        for system in _build_systems():
+            for file_id in system.addr_of_file:
+                assert not attacker_decrypt(system, only_file_keys, file_id)
+
+    def test_system_c_isolates_files(self):
+        """Per-file keys: compromising one file's key exposes only that
+        file (footnote 1's point)."""
+        from repro.analysis.security import Scenario, SystemDesign
+
+        system = _build_systems()[2]  # System C
+        scenario = Scenario(memory_key=True, single_fs_key=False, all_file_keys=True)
+        # Restrict the attacker to file 10's key only.
+        full_keys = dict(system.file_keys)
+        system.file_keys = {10: full_keys[10]}
+        assert attacker_decrypt(system, scenario, 10)
+        assert not attacker_decrypt(system, scenario, 11)
+
+    def test_dimm_residue_is_not_plaintext(self):
+        for system in _build_systems():
+            for file_id in system.addr_of_file:
+                assert not system.dimm_residue(file_id).startswith(b"TOP-SECRET")

@@ -1,0 +1,116 @@
+"""Untrusted-OS extension: enclave key ownership and attestation."""
+
+import pytest
+
+from repro.core import (
+    AttestationError,
+    EnclaveManager,
+    EnclaveOwnershipError,
+    FsEncrController,
+    KeyUnavailableError,
+    set_df,
+)
+from repro.secmem import MetadataLayout, SecureControllerConfig
+
+
+LAYOUT = MetadataLayout(data_bytes=16 * 1024 * 1024, ott_region_bytes=32 * 1024)
+APP_CODE = b"my trusted database engine v1.0"
+
+
+def make_manager():
+    controller = FsEncrController(layout=LAYOUT, config=SecureControllerConfig(functional=True))
+    return EnclaveManager(controller), controller
+
+
+class TestAttestation:
+    def test_enroll_launch(self):
+        manager, _ = make_manager()
+        enclave_id = manager.enroll(APP_CODE)
+        channel = manager.launch(enclave_id, APP_CODE)
+        assert channel is not None
+
+    def test_modified_code_refused(self):
+        manager, _ = make_manager()
+        enclave_id = manager.enroll(APP_CODE)
+        with pytest.raises(AttestationError):
+            manager.launch(enclave_id, APP_CODE + b" (with a backdoor)")
+
+    def test_unknown_enclave_refused(self):
+        manager, _ = make_manager()
+        with pytest.raises(AttestationError):
+            manager.launch(99, APP_CODE)
+
+
+class TestKeyOwnership:
+    def test_enclave_installs_and_uses_key(self):
+        manager, controller = make_manager()
+        channel = manager.launch(manager.enroll(APP_CODE), APP_CODE)
+        channel.install_file_key(group_id=1, file_id=7, key=bytes([3]) * 16)
+        controller.update_fecb(page=2, group_id=1, file_id=7)
+        addr = set_df(2 * 4096)
+        controller.write_data(addr, b"\x42" * 64)
+        assert controller.read_data(addr) == b"\x42" * 64
+        assert manager.owner_of(1, 7) is not None
+
+    def test_kernel_cannot_replace_enclave_key(self):
+        manager, controller = make_manager()
+        channel = manager.launch(manager.enroll(APP_CODE), APP_CODE)
+        channel.install_file_key(1, 7, bytes([3]) * 16)
+        with pytest.raises(EnclaveOwnershipError):
+            controller.install_file_key(1, 7, bytes([9]) * 16)  # ring-0 attack
+
+    def test_kernel_cannot_revoke_enclave_key(self):
+        manager, controller = make_manager()
+        channel = manager.launch(manager.enroll(APP_CODE), APP_CODE)
+        channel.install_file_key(1, 7, bytes([3]) * 16)
+        with pytest.raises(EnclaveOwnershipError):
+            controller.revoke_file_key(1, 7)
+
+    def test_other_enclave_cannot_touch_key(self):
+        manager, _ = make_manager()
+        alice = manager.launch(manager.enroll(APP_CODE), APP_CODE)
+        other_code = b"some other application"
+        mallory = manager.launch(manager.enroll(other_code), other_code)
+        alice.install_file_key(1, 7, bytes([3]) * 16)
+        with pytest.raises(EnclaveOwnershipError):
+            mallory.install_file_key(1, 7, bytes([9]) * 16)
+        with pytest.raises(EnclaveOwnershipError):
+            mallory.revoke_file_key(1, 7)
+
+    def test_owner_can_revoke_then_key_unavailable(self):
+        manager, controller = make_manager()
+        channel = manager.launch(manager.enroll(APP_CODE), APP_CODE)
+        channel.install_file_key(1, 7, bytes([3]) * 16)
+        controller.update_fecb(page=2, group_id=1, file_id=7)
+        addr = set_df(2 * 4096)
+        controller.write_data(addr, b"\x42" * 64)
+        channel.revoke_file_key(1, 7)
+        assert manager.owner_of(1, 7) is None
+        # Revocation unstamps the page (secure delete): reads fall back
+        # to the memory layer only and yield noise, never the plaintext.
+        assert controller.read_data(addr) != b"\x42" * 64
+
+    def test_owner_rekey(self):
+        manager, controller = make_manager()
+        channel = manager.launch(manager.enroll(APP_CODE), APP_CODE)
+        channel.install_file_key(1, 7, bytes([3]) * 16)
+        controller.update_fecb(page=2, group_id=1, file_id=7)
+        addr = set_df(2 * 4096)
+        controller.write_data(addr, b"\x55" * 64)
+        new_key = channel.rekey_file(1, 7)
+        assert new_key != bytes([3]) * 16
+        assert controller.read_data(addr) == b"\x55" * 64
+
+    def test_kernel_keys_unaffected(self):
+        """Files managed by the (trusted-enough) kernel keep working."""
+        manager, controller = make_manager()
+        controller.install_file_key(2, 8, bytes([4]) * 16)  # kernel path
+        controller.revoke_file_key(2, 8)  # kernel may manage its own
+
+    def test_violations_counted(self):
+        manager, controller = make_manager()
+        channel = manager.launch(manager.enroll(APP_CODE), APP_CODE)
+        channel.install_file_key(1, 7, bytes([3]) * 16)
+        with pytest.raises(EnclaveOwnershipError):
+            controller.install_file_key(1, 7, bytes([9]) * 16)
+        assert manager.stats.get("kernel_rejections") == 1

@@ -1,0 +1,222 @@
+"""FsEncr controller: recognition, dual OTP, key life-cycle, crash paths."""
+
+import pytest
+
+from repro.core import FsEncrController, KeyUnavailableError, set_df
+from repro.mem import MemoryRequest
+from repro.secmem import IntegrityError, MetadataLayout, SecureControllerConfig
+
+
+def functional_controller():
+    return FsEncrController(
+        layout=MetadataLayout(data_bytes=16 * 1024 * 1024, ott_region_bytes=32 * 1024),
+        config=SecureControllerConfig(functional=True),
+    )
+
+
+def timing_controller(**kwargs):
+    return FsEncrController(
+        layout=MetadataLayout(data_bytes=16 * 1024 * 1024, ott_region_bytes=32 * 1024),
+        config=SecureControllerConfig(**kwargs),
+    )
+
+
+def open_file(ctl, group=5, file=42, page=3, fill=0x77):
+    key = bytes([fill]) * 16
+    ctl.install_file_key(group_id=group, file_id=file, key=key)
+    ctl.update_fecb(page=page, group_id=group, file_id=file)
+    return key
+
+
+class TestRecognition:
+    def test_df_requests_counted(self):
+        ctl = timing_controller()
+        open_file(ctl)
+        ctl.access(MemoryRequest(addr=set_df(3 * 4096), is_write=False))
+        ctl.access(MemoryRequest(addr=0x9000, is_write=False))
+        assert ctl.stats.get("dax_requests") == 1
+
+    def test_non_df_requests_skip_file_path(self):
+        ctl = timing_controller()
+        open_file(ctl)
+        before = ctl.metadata_cache.stats.get("fecb_misses") + ctl.metadata_cache.stats.get("fecb_hits")
+        ctl.access(MemoryRequest(addr=0x9000, is_write=False))
+        after = ctl.metadata_cache.stats.get("fecb_misses") + ctl.metadata_cache.stats.get("fecb_hits")
+        assert after == before
+
+
+class TestDualOtp:
+    def test_roundtrip(self):
+        ctl = functional_controller()
+        open_file(ctl)
+        addr = set_df(3 * 4096 + 128)
+        ctl.write_data(addr, bytes(range(64)))
+        assert ctl.read_data(addr) == bytes(range(64))
+
+    def test_dax_line_sealed_differently_from_memory_line(self):
+        """Same plaintext, same counters: a stamped page's ciphertext
+        must differ from an unstamped page's (the file pad layer)."""
+        ctl = functional_controller()
+        open_file(ctl, page=3)
+        line = bytes(64)
+        ctl.write_data(set_df(3 * 4096), line)
+        ctl.write_data(5 * 4096, line)
+        dax_ct = ctl.store.read_line(3 * 4096)
+        mem_ct = ctl.store.read_line(5 * 4096)
+        assert dax_ct != mem_ct
+
+    def test_memory_key_alone_cannot_decrypt_dax_line(self):
+        """Defence-in-depth: stripping only the memory pad leaves the
+        file pad in place."""
+        from repro.crypto import OTPEngine, CounterIV, MEMORY_DOMAIN, xor_bytes
+
+        ctl = functional_controller()
+        open_file(ctl, page=3)
+        plaintext = b"payroll!" * 8
+        ctl.write_data(set_df(3 * 4096), plaintext)
+        ciphertext = ctl.store.read_line(3 * 4096)
+        major, minor = ctl.mecb.block(3).value_for(0)
+        mem_pad = OTPEngine(ctl.keys.memory_key).pad_for(
+            CounterIV(domain=MEMORY_DOMAIN, page_id=3, page_offset=0, major=major, minor=minor)
+        )
+        assert xor_bytes(ciphertext, mem_pad) != plaintext
+
+    def test_unknown_key_read_raises(self):
+        ctl = functional_controller()
+        ctl.update_fecb(page=3, group_id=5, file_id=42)  # stamped, no key
+        with pytest.raises(KeyUnavailableError):
+            ctl.read_data(set_df(3 * 4096))
+
+
+class TestKeyLifecycle:
+    def test_install_logs_to_region(self):
+        ctl = functional_controller()
+        open_file(ctl)
+        found, _ = ctl.ott_region.fetch(5, 42)
+        assert found is not None
+
+    def test_ott_spill_and_refill(self):
+        from repro.core import OpenTunnelTable
+
+        ctl = FsEncrController(
+            layout=MetadataLayout(data_bytes=16 * 1024 * 1024, ott_region_bytes=32 * 1024),
+            config=SecureControllerConfig(functional=True),
+            ott=OpenTunnelTable(banks=1, entries_per_bank=2),
+        )
+        for file_id in (1, 2, 3):  # capacity 2: file 1 spills
+            open_file(ctl, file=file_id, page=file_id)
+        assert ctl.stats.get("ott_spills") >= 1
+        # file 1's key must still be reachable (from the region).
+        ctl.write_data(set_df(1 * 4096), bytes(64))
+        assert ctl.read_data(set_df(1 * 4096)) == bytes(64)
+
+    def test_revoke_secure_deletes(self):
+        ctl = functional_controller()
+        key = open_file(ctl)
+        addr = set_df(3 * 4096)
+        ctl.write_data(addr, b"\x42" * 64)
+        ctl.revoke_file_key(5, 42)
+        # Even re-installing the same key cannot decrypt: counters shredded.
+        ctl.install_file_key(5, 42, key)
+        ctl.update_fecb(page=3, group_id=5, file_id=42)
+        assert ctl.read_data(addr) != b"\x42" * 64
+
+    def test_page_recycled_to_new_file_resets_counters(self):
+        ctl = functional_controller()
+        open_file(ctl, file=42, page=3)
+        ctl.install_file_key(5, 43, bytes([9]) * 16)
+        ctl.update_fecb(page=3, group_id=5, file_id=43)
+        assert ctl.stats.get("fecb_recycles") == 1
+        assert ctl.fecb.block(3).ident == (5, 43)
+
+    def test_rekey_preserves_data_under_new_key(self):
+        ctl = functional_controller()
+        open_file(ctl)
+        addr = set_df(3 * 4096)
+        ctl.write_data(addr, b"\x13" * 64)
+        new_key = ctl.rekey_file(5, 42)
+        assert new_key != bytes([0x77]) * 16
+        assert ctl.read_data(addr) == b"\x13" * 64
+        assert ctl.ott.lookup(5, 42).key == new_key
+
+    def test_rekey_unknown_file_raises(self):
+        with pytest.raises(KeyUnavailableError):
+            functional_controller().rekey_file(1, 1)
+
+
+class TestAdminLock:
+    def test_first_login_enrolls(self):
+        ctl = functional_controller()
+        assert ctl.admin_login(b"c" * 32) is True
+        assert not ctl.locked
+
+    def test_wrong_credential_locks(self):
+        ctl = functional_controller()
+        ctl.admin_login(b"c" * 32)
+        assert ctl.admin_login(b"x" * 32) is False
+        assert ctl.locked
+
+    def test_locked_engine_seals_file_data(self):
+        ctl = functional_controller()
+        ctl.admin_login(b"c" * 32)
+        open_file(ctl)
+        addr = set_df(3 * 4096)
+        ctl.write_data(addr, b"\x21" * 64)
+        ctl.admin_login(b"x" * 32)
+        assert ctl.read_data(addr) != b"\x21" * 64
+        ctl.admin_login(b"c" * 32)
+        assert ctl.read_data(addr) == b"\x21" * 64
+
+    def test_locked_engine_still_serves_plain_memory(self):
+        ctl = functional_controller()
+        ctl.admin_login(b"c" * 32)
+        ctl.write_data(0x9000, b"\x33" * 64)
+        ctl.admin_login(b"x" * 32)
+        assert ctl.read_data(0x9000) == b"\x33" * 64
+
+
+class TestIntegrityCoverage:
+    def test_fecb_tamper_detected(self):
+        ctl = functional_controller()
+        open_file(ctl)
+        addr = set_df(3 * 4096)
+        ctl.write_data(addr, bytes(64))
+        ctl.fecb.block(3).counters.minors[0] ^= 1
+        with pytest.raises(IntegrityError):
+            ctl.read_data(addr)
+
+    def test_fecb_id_swap_detected(self):
+        """Pointing a page's FECB at another file without authorisation
+        must break integrity (the §VI File-ID protection argument)."""
+        ctl = functional_controller()
+        open_file(ctl, file=42, page=3)
+        ctl.install_file_key(5, 43, bytes([1]) * 16)
+        addr = set_df(3 * 4096)
+        ctl.write_data(addr, bytes(64))
+        ctl.fecb.block(3).file_id = 43  # out-of-band swap
+        with pytest.raises(IntegrityError):
+            ctl.read_data(addr)
+
+
+class TestCrashRecovery:
+    def test_ott_recovery_from_region(self):
+        ctl = functional_controller()
+        for file_id in (41, 42, 43):
+            open_file(ctl, file=file_id, page=file_id % 8)
+        recovered = ctl.recover_ott_after_crash()
+        assert recovered == 3
+        assert ctl.ott.lookup(5, 41) is not None
+
+    def test_crash_flush_then_recover(self):
+        ctl = functional_controller()
+        open_file(ctl)
+        ctl.crash_flush_ott()
+        assert ctl.recover_ott_after_crash() >= 1
+
+    def test_fecb_write_path_persists_via_osiris(self):
+        ctl = timing_controller(stop_loss=2)
+        open_file(ctl)
+        addr = set_df(3 * 4096)
+        for _ in range(4):
+            ctl.access(MemoryRequest(addr=addr, is_write=True))
+        assert ctl.stats.get("osiris_fecb_persists") == 2

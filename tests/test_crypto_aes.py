@@ -1,0 +1,92 @@
+"""AES-128 primitive: FIPS-197 conformance, inversion, error handling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import AES128, aes128_decrypt_block, aes128_encrypt_block
+
+# FIPS-197 Appendix C.1 vector.
+FIPS_KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+FIPS_PLAIN = bytes.fromhex("00112233445566778899aabbccddeeff")
+FIPS_CIPHER = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+
+# FIPS-197 Appendix B vector (the worked example).
+APPB_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+APPB_PLAIN = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+APPB_CIPHER = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+
+
+class TestFipsVectors:
+    def test_appendix_c1_encrypt(self):
+        assert AES128(FIPS_KEY).encrypt_block(FIPS_PLAIN) == FIPS_CIPHER
+
+    def test_appendix_c1_decrypt(self):
+        assert AES128(FIPS_KEY).decrypt_block(FIPS_CIPHER) == FIPS_PLAIN
+
+    def test_appendix_b_encrypt(self):
+        assert AES128(APPB_KEY).encrypt_block(APPB_PLAIN) == APPB_CIPHER
+
+    def test_appendix_b_decrypt(self):
+        assert AES128(APPB_KEY).decrypt_block(APPB_CIPHER) == APPB_PLAIN
+
+    def test_one_shot_helpers(self):
+        assert aes128_encrypt_block(FIPS_KEY, FIPS_PLAIN) == FIPS_CIPHER
+        assert aes128_decrypt_block(FIPS_KEY, FIPS_CIPHER) == FIPS_PLAIN
+
+
+class TestValidation:
+    def test_short_key_rejected(self):
+        with pytest.raises(ValueError):
+            AES128(b"short")
+
+    def test_long_key_rejected(self):
+        with pytest.raises(ValueError):
+            AES128(bytes(32))
+
+    @pytest.mark.parametrize("size", [0, 1, 15, 17, 64])
+    def test_bad_block_size_encrypt(self, size):
+        with pytest.raises(ValueError):
+            AES128(bytes(16)).encrypt_block(bytes(size))
+
+    @pytest.mark.parametrize("size", [0, 15, 17])
+    def test_bad_block_size_decrypt(self, size):
+        with pytest.raises(ValueError):
+            AES128(bytes(16)).decrypt_block(bytes(size))
+
+    def test_key_property(self):
+        assert AES128(FIPS_KEY).key == FIPS_KEY
+
+
+class TestCipherProperties:
+    def test_deterministic(self):
+        c = AES128(FIPS_KEY)
+        assert c.encrypt_block(FIPS_PLAIN) == c.encrypt_block(FIPS_PLAIN)
+
+    def test_key_sensitivity(self):
+        tweaked = bytes([FIPS_KEY[0] ^ 1]) + FIPS_KEY[1:]
+        assert AES128(FIPS_KEY).encrypt_block(FIPS_PLAIN) != AES128(tweaked).encrypt_block(FIPS_PLAIN)
+
+    def test_plaintext_sensitivity(self):
+        c = AES128(FIPS_KEY)
+        tweaked = bytes([FIPS_PLAIN[0] ^ 1]) + FIPS_PLAIN[1:]
+        out_a, out_b = c.encrypt_block(FIPS_PLAIN), c.encrypt_block(tweaked)
+        assert out_a != out_b
+        # Avalanche: a 1-bit input change flips many output bits.
+        differing = sum(bin(x ^ y).count("1") for x, y in zip(out_a, out_b))
+        assert differing > 30
+
+    def test_not_identity(self):
+        assert AES128(bytes(16)).encrypt_block(bytes(16)) != bytes(16)
+
+    @given(key=st.binary(min_size=16, max_size=16), block=st.binary(min_size=16, max_size=16))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, key, block):
+        cipher = AES128(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    @given(block=st.binary(min_size=16, max_size=16))
+    @settings(max_examples=15, deadline=None)
+    def test_encrypt_decrypt_are_inverse_both_ways(self, block):
+        cipher = AES128(FIPS_KEY)
+        assert cipher.encrypt_block(cipher.decrypt_block(block)) == block

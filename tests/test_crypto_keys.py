@@ -1,0 +1,125 @@
+"""Key hierarchy: derivation, wrapping, and the wrong-passphrase path."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import (
+    KEY_SIZE,
+    KeyHierarchy,
+    KeyWrapError,
+    derive_fekek,
+    generate_fek,
+    unwrap_key,
+    wrap_key,
+)
+
+
+class TestDeriveFekek:
+    def test_length(self):
+        assert len(derive_fekek("pass", b"salt")) == KEY_SIZE
+
+    def test_deterministic(self):
+        assert derive_fekek("pass", b"salt") == derive_fekek("pass", b"salt")
+
+    def test_passphrase_matters(self):
+        assert derive_fekek("a", b"salt") != derive_fekek("b", b"salt")
+
+    def test_salt_matters(self):
+        assert derive_fekek("pass", b"s1") != derive_fekek("pass", b"s2")
+
+    def test_empty_passphrase_rejected(self):
+        with pytest.raises(ValueError):
+            derive_fekek("", b"salt")
+
+
+class TestGenerateFek:
+    def test_length(self):
+        assert len(generate_fek(b"entropy")) == KEY_SIZE
+
+    def test_entropy_matters(self):
+        assert generate_fek(b"a") != generate_fek(b"b")
+
+
+class TestWrapUnwrap:
+    def test_roundtrip(self):
+        fek = generate_fek(b"e")
+        fekek = derive_fekek("pw", b"s")
+        assert unwrap_key(wrap_key(fek, fekek), fekek) == fek
+
+    def test_wrong_fekek_raises(self):
+        fek = generate_fek(b"e")
+        wrapped = wrap_key(fek, derive_fekek("right", b"s"))
+        with pytest.raises(KeyWrapError):
+            unwrap_key(wrapped, derive_fekek("wrong", b"s"))
+
+    def test_tampered_ciphertext_raises(self):
+        fekek = derive_fekek("pw", b"s")
+        wrapped = wrap_key(generate_fek(b"e"), fekek)
+        forged = type(wrapped)(
+            ciphertext=bytes([wrapped.ciphertext[0] ^ 1]) + wrapped.ciphertext[1:],
+            tag=wrapped.tag,
+        )
+        with pytest.raises(KeyWrapError):
+            unwrap_key(forged, fekek)
+
+    def test_tampered_tag_raises(self):
+        fekek = derive_fekek("pw", b"s")
+        wrapped = wrap_key(generate_fek(b"e"), fekek)
+        forged = type(wrapped)(
+            ciphertext=wrapped.ciphertext,
+            tag=bytes([wrapped.tag[0] ^ 1]) + wrapped.tag[1:],
+        )
+        with pytest.raises(KeyWrapError):
+            unwrap_key(forged, fekek)
+
+    def test_wrapped_hides_fek(self):
+        fek = generate_fek(b"e")
+        assert wrap_key(fek, derive_fekek("pw", b"s")).ciphertext != fek
+
+    def test_bad_fek_size_rejected(self):
+        with pytest.raises(ValueError):
+            wrap_key(b"short", derive_fekek("pw", b"s"))
+
+    @given(entropy=st.binary(min_size=1, max_size=32), pw=st.text(min_size=1, max_size=16))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_property(self, entropy, pw):
+        fek = generate_fek(entropy)
+        fekek = derive_fekek(pw, b"fixed-salt")
+        assert unwrap_key(wrap_key(fek, fekek), fekek) == fek
+
+
+class TestKeyHierarchy:
+    def test_from_seed_deterministic(self):
+        a, b = KeyHierarchy.from_seed(b"x"), KeyHierarchy.from_seed(b"x")
+        assert a.memory_key == b.memory_key
+        assert a.ott_key == b.ott_key
+
+    def test_chip_keys_distinct(self):
+        h = KeyHierarchy.from_seed(b"x")
+        assert h.memory_key != h.ott_key
+
+    def test_bad_key_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            KeyHierarchy(b"short", bytes(16))
+        with pytest.raises(ValueError):
+            KeyHierarchy(bytes(16), b"short")
+
+    def test_derive_file_key_unique_per_entropy(self):
+        h = KeyHierarchy.from_seed(b"x")
+        assert h.derive_file_key(1, 1, b"a") != h.derive_file_key(1, 1, b"b")
+
+    def test_rotated_key_differs(self):
+        h = KeyHierarchy.from_seed(b"x")
+        old = h.derive_file_key(1, 1, b"a")
+        new = h.rotated_file_key(old)
+        assert new != old and len(new) == KEY_SIZE
+
+    def test_rotation_chain_no_short_cycles(self):
+        h = KeyHierarchy.from_seed(b"x")
+        key = h.derive_file_key(1, 1, b"a")
+        seen = {key}
+        for _ in range(16):
+            key = h.rotated_file_key(key)
+            assert key not in seen
+            seen.add(key)

@@ -1,0 +1,123 @@
+"""Directory semantics: mkdir -p, readdir, rmdir, implicit parents."""
+
+import pytest
+
+from repro.fs import DaxFilesystem, FsError
+from repro.mem import PAGE_SIZE
+
+
+def make_fs():
+    fs = DaxFilesystem(pmem_base=1024 * PAGE_SIZE, pmem_bytes=16 * PAGE_SIZE)
+    fs.users.add_user(1000, 100)
+    fs.keyring.login(1000, "pw")
+    return fs
+
+
+class TestMkdir:
+    def test_mkdir_and_is_dir(self):
+        fs = make_fs()
+        fs.mkdir("/data", uid=1000)
+        assert fs.is_dir("/data")
+        assert fs.is_dir("/")
+
+    def test_mkdir_p_creates_ancestors(self):
+        fs = make_fs()
+        fs.mkdir("/a/b/c", uid=1000)
+        assert fs.is_dir("/a") and fs.is_dir("/a/b") and fs.is_dir("/a/b/c")
+
+    def test_relative_path_rejected(self):
+        with pytest.raises(FsError):
+            make_fs().mkdir("data", uid=1000)
+
+    def test_mkdir_over_file_rejected(self):
+        fs = make_fs()
+        fs.create("/x", uid=1000)
+        with pytest.raises(FsError):
+            fs.mkdir("/x", uid=1000)
+
+    def test_create_over_dir_rejected(self):
+        fs = make_fs()
+        fs.mkdir("/d", uid=1000)
+        with pytest.raises(FsError):
+            fs.create("/d", uid=1000)
+
+    def test_create_materialises_parents(self):
+        fs = make_fs()
+        fs.create("/pmem/db/shard0", uid=1000)
+        assert fs.is_dir("/pmem") and fs.is_dir("/pmem/db")
+
+
+class TestReaddir:
+    def test_lists_immediate_children_only(self):
+        fs = make_fs()
+        fs.create("/d/a", uid=1000)
+        fs.create("/d/b", uid=1000)
+        fs.create("/d/sub/c", uid=1000)
+        assert fs.readdir("/d") == ["a", "b", "sub"]
+
+    def test_root_listing(self):
+        fs = make_fs()
+        fs.create("/top", uid=1000)
+        fs.mkdir("/etc", uid=1000)
+        assert fs.readdir("/") == ["etc", "top"]
+
+    def test_empty_directory(self):
+        fs = make_fs()
+        fs.mkdir("/empty", uid=1000)
+        assert fs.readdir("/empty") == []
+
+    def test_not_a_directory(self):
+        fs = make_fs()
+        with pytest.raises(FsError):
+            fs.readdir("/nope")
+
+    def test_trailing_slash_tolerated(self):
+        fs = make_fs()
+        fs.create("/d/a", uid=1000)
+        assert fs.readdir("/d/") == ["a"]
+
+
+class TestRmdir:
+    def test_remove_empty(self):
+        fs = make_fs()
+        fs.mkdir("/gone", uid=1000)
+        fs.rmdir("/gone", uid=1000)
+        assert not fs.is_dir("/gone")
+
+    def test_refuse_non_empty(self):
+        fs = make_fs()
+        fs.create("/d/a", uid=1000)
+        with pytest.raises(FsError):
+            fs.rmdir("/d", uid=1000)
+
+    def test_empty_after_unlink_removable(self):
+        fs = make_fs()
+        fs.create("/d/a", uid=1000)
+        fs.unlink("/d/a", uid=1000)
+        fs.rmdir("/d", uid=1000)
+        assert not fs.is_dir("/d")
+
+    def test_root_protected(self):
+        with pytest.raises(FsError):
+            make_fs().rmdir("/", uid=1000)
+
+    def test_missing_directory(self):
+        with pytest.raises(FsError):
+            make_fs().rmdir("/nope", uid=1000)
+
+
+class TestInterplay:
+    def test_rename_across_directories(self):
+        fs = make_fs()
+        fs.create("/a/file", uid=1000)
+        fs.mkdir("/b", uid=1000)
+        fs.rename("/a/file", "/b/file", uid=1000)
+        assert fs.readdir("/a") == []
+        assert fs.readdir("/b") == ["file"]
+
+    def test_fsck_still_clean_with_directories(self):
+        fs = make_fs()
+        handle, _ = fs.create("/x/y/z", uid=1000)
+        fs.fault_in(handle, 0)
+        fs.mkdir("/other", uid=1000)
+        assert fs.fsck() == []

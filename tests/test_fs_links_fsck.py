@@ -1,0 +1,172 @@
+"""rename/link semantics, hard-link-aware deletion, and fsck."""
+
+import pytest
+
+from repro.fs import AccessDenied, DaxFilesystem, FsError
+from repro.kernel import MMIORegisters
+from repro.mem import PAGE_SIZE
+
+
+class _Target:
+    def __init__(self):
+        self.revoked = []
+
+    def install_file_key(self, group_id, file_id, key):
+        pass
+
+    def revoke_file_key(self, group_id, file_id):
+        self.revoked.append((group_id, file_id))
+
+    def update_fecb(self, page, group_id, file_id):
+        pass
+
+    def admin_login(self, credential_digest):
+        return True
+
+
+def make_fs(pages=32):
+    target = _Target()
+    fs = DaxFilesystem(
+        pmem_base=1024 * PAGE_SIZE,
+        pmem_bytes=pages * PAGE_SIZE,
+        mmio=MMIORegisters(target=target),
+    )
+    fs.users.add_user(1000, 100)
+    fs.users.add_user(2000, 200)
+    fs.keyring.login(1000, "alice")
+    return fs, target
+
+
+class TestRename:
+    def test_rename_moves_name(self):
+        fs, _ = make_fs()
+        fs.create("/a", uid=1000)
+        fs.rename("/a", "/b", uid=1000)
+        assert not fs.exists("/a") and fs.exists("/b")
+
+    def test_rename_keeps_inode_and_data_pages(self):
+        fs, _ = make_fs()
+        handle, _ = fs.create("/a", uid=1000)
+        fs.fault_in(handle, 0)
+        ino = handle.inode.i_ino
+        fs.rename("/a", "/b", uid=1000)
+        assert fs.stat("/b").i_ino == ino
+        assert fs.stat("/b").extents
+
+    def test_rename_replaces_destination(self):
+        fs, _ = make_fs()
+        fs.create("/a", uid=1000)
+        doomed, _ = fs.create("/b", uid=1000)
+        fs.rename("/a", "/b", uid=1000)
+        assert fs.stat("/b").i_ino != doomed.inode.i_ino
+
+    def test_rename_requires_write_access(self):
+        fs, _ = make_fs()
+        fs.create("/a", uid=1000, mode=0o644)
+        with pytest.raises(AccessDenied):
+            fs.rename("/a", "/b", uid=2000)
+
+    def test_rename_missing(self):
+        fs, _ = make_fs()
+        with pytest.raises(FsError):
+            fs.rename("/nope", "/b", uid=1000)
+
+
+class TestHardLinks:
+    def test_link_shares_inode(self):
+        fs, _ = make_fs()
+        handle, _ = fs.create("/a", uid=1000)
+        fs.link("/a", "/also-a", uid=1000)
+        assert fs.stat("/also-a").i_ino == handle.inode.i_ino
+        assert handle.inode.nlink == 2
+
+    def test_link_existing_destination_rejected(self):
+        fs, _ = make_fs()
+        fs.create("/a", uid=1000)
+        fs.create("/b", uid=1000)
+        with pytest.raises(FsError):
+            fs.link("/a", "/b", uid=1000)
+
+    def test_unlink_one_name_keeps_data(self):
+        fs, target = make_fs()
+        handle, _ = fs.create("/a", uid=1000, encrypted=True)
+        fs.fault_in(handle, 0)
+        fs.link("/a", "/b", uid=1000)
+        fs.unlink("/a", uid=1000)
+        assert fs.exists("/b")
+        assert fs.stat("/b").extents  # pages survive
+        assert target.revoked == []  # key survives too
+
+    def test_last_unlink_frees_and_revokes(self):
+        fs, target = make_fs()
+        handle, _ = fs.create("/a", uid=1000, encrypted=True)
+        fs.fault_in(handle, 0)
+        free_before = fs.free_bytes
+        fs.link("/a", "/b", uid=1000)
+        fs.unlink("/a", uid=1000)
+        fs.unlink("/b", uid=1000)
+        assert len(target.revoked) == 1
+        assert fs.free_bytes == free_before + PAGE_SIZE
+
+
+class TestFsck:
+    def test_clean_filesystem(self):
+        fs, _ = make_fs()
+        handle, _ = fs.create("/a", uid=1000)
+        fs.fault_in(handle, 0)
+        fs.link("/a", "/b", uid=1000)
+        assert fs.fsck() == []
+
+    def test_detects_double_allocation(self):
+        fs, _ = make_fs()
+        a, _ = fs.create("/a", uid=1000)
+        b, _ = fs.create("/b", uid=1000)
+        fs.fault_in(a, 0)
+        b.inode.extents[0] = a.inode.extents[0]  # corruption
+        problems = fs.fsck()
+        assert any("shared by" in p for p in problems)
+
+    def test_detects_allocated_and_free(self):
+        fs, _ = make_fs()
+        a, _ = fs.create("/a", uid=1000)
+        fs.fault_in(a, 0)
+        fs._free_pages.append(a.inode.extents[0])  # corruption
+        assert any("both allocated and free" in p for p in fs.fsck())
+
+    def test_detects_bad_nlink(self):
+        fs, _ = make_fs()
+        a, _ = fs.create("/a", uid=1000)
+        a.inode.nlink = 5
+        assert any("nlink" in p for p in fs.fsck())
+
+    def test_detects_out_of_region_extent(self):
+        fs, _ = make_fs()
+        a, _ = fs.create("/a", uid=1000)
+        a.inode.extents[0] = 5  # below pmem base
+        a.inode.ensure_size(PAGE_SIZE)
+        assert any("outside the PMEM region" in p for p in fs.fsck())
+
+    def test_detects_short_size(self):
+        fs, _ = make_fs()
+        a, _ = fs.create("/a", uid=1000)
+        fs.fault_in(a, 3)
+        a.inode.size = 10  # corruption
+        assert any("below extent end" in p for p in fs.fsck())
+
+    def test_detects_dangling_name(self):
+        fs, _ = make_fs()
+        fs.create("/a", uid=1000)
+        fs._namespace["/ghost"] = 9999
+        assert any("dangling" in p for p in fs.fsck())
+
+    def test_fsck_clean_after_heavy_churn(self):
+        fs, _ = make_fs(pages=64)
+        for i in range(12):
+            handle, _ = fs.create(f"/f{i}", uid=1000, encrypted=(i % 2 == 0))
+            for page in range(i % 4 + 1):
+                fs.fault_in(handle, page)
+        for i in range(0, 12, 3):
+            fs.unlink(f"/f{i}", uid=1000)
+        for i in range(1, 12, 3):
+            fs.rename(f"/f{i}", f"/g{i}", uid=1000)
+        assert fs.fsck() == []

@@ -1,0 +1,122 @@
+"""Three-level hierarchy: hit levels, allocation, write-backs, flushes."""
+
+import pytest
+
+from repro.mem import CacheConfig, CacheHierarchy, HierarchyConfig
+
+
+def tiny_hierarchy():
+    """1/2/4-line caches so evictions are easy to force."""
+    return CacheHierarchy(
+        HierarchyConfig(
+            l1=CacheConfig(name="l1", size_bytes=64, ways=1, hit_latency=2.0),
+            l2=CacheConfig(name="l2", size_bytes=128, ways=2, hit_latency=20.0),
+            l3=CacheConfig(name="l3", size_bytes=256, ways=4, hit_latency=32.0),
+        )
+    )
+
+
+class TestAccessPath:
+    def test_cold_access_misses_everywhere(self):
+        h = tiny_hierarchy()
+        outcome = h.access(0, is_write=False)
+        assert outcome.hit_level is None
+        assert outcome.miss_addr == 0
+        assert outcome.latency_ns == pytest.approx(2 + 20 + 32)
+
+    def test_second_access_hits_l1(self):
+        h = tiny_hierarchy()
+        h.access(0, False)
+        outcome = h.access(0, False)
+        assert outcome.hit_level == "l1"
+        assert outcome.miss_addr is None
+        assert outcome.latency_ns == pytest.approx(2)
+
+    def test_l1_victim_still_hits_lower_level(self):
+        h = tiny_hierarchy()
+        h.access(0, False)
+        h.access(64, False)  # evicts 0 from the 1-line L1
+        outcome = h.access(0, False)
+        assert outcome.hit_level in ("l2", "l3")
+
+    def test_hit_refills_upper_levels(self):
+        h = tiny_hierarchy()
+        h.access(0, False)
+        h.access(64, False)
+        h.access(0, False)  # L2 hit refills L1
+        outcome = h.access(0, False)
+        assert outcome.hit_level == "l1"
+
+    def test_default_config_matches_table3_scaled_interface(self):
+        h = CacheHierarchy()
+        assert h.l1.config.hit_latency == 2.0
+        assert h.l2.config.hit_latency == 20.0
+        assert h.l3.config.hit_latency == 32.0
+
+
+class TestWritebacks:
+    def test_dirty_l3_eviction_reported(self):
+        h = tiny_hierarchy()
+        h.access(0, is_write=True)
+        writebacks = []
+        # Fill L3's single set far enough to evict line 0.
+        addr = 64
+        for _ in range(16):
+            outcome = h.access(addr, is_write=False)
+            writebacks.extend(outcome.writeback_addrs)
+            addr += 64 * 4  # stay in one L3 set (4 sets of 64B lines)
+        assert 0 in writebacks
+
+    def test_clean_evictions_not_reported(self):
+        h = tiny_hierarchy()
+        h.access(0, is_write=False)
+        reported = []
+        addr = 64 * 4
+        for _ in range(16):
+            outcome = h.access(addr, is_write=False)
+            reported.extend(outcome.writeback_addrs)
+            addr += 64 * 4
+        assert 0 not in reported
+
+
+class TestFlush:
+    def test_flush_dirty_line_reports_dirty(self):
+        h = tiny_hierarchy()
+        h.access(0, is_write=True)
+        assert h.flush_line(0, invalidate=False) is True
+
+    def test_flush_clean_line_reports_clean(self):
+        h = tiny_hierarchy()
+        h.access(0, is_write=False)
+        assert h.flush_line(0, invalidate=False) is False
+
+    def test_clwb_keeps_line_cached(self):
+        h = tiny_hierarchy()
+        h.access(0, is_write=True)
+        h.flush_line(0, invalidate=False)
+        assert h.access(0, False).hit_level == "l1"
+
+    def test_clflush_invalidates(self):
+        h = tiny_hierarchy()
+        h.access(0, is_write=True)
+        assert h.flush_line(0, invalidate=True) is True
+        assert h.access(0, False).hit_level is None
+
+    def test_flush_absent_line(self):
+        assert tiny_hierarchy().flush_line(0, invalidate=False) is False
+
+
+class TestDrain:
+    def test_drain_collects_dirty_lines(self):
+        h = tiny_hierarchy()
+        h.access(0, is_write=True)
+        h.access(64, is_write=False)
+        dirty = h.drain_dirty()
+        assert 0 in dirty
+        assert 64 not in dirty
+
+    def test_drain_empties_hierarchy(self):
+        h = tiny_hierarchy()
+        h.access(0, is_write=True)
+        h.drain_dirty()
+        assert h.access(0, False).hit_level is None

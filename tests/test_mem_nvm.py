@@ -1,0 +1,126 @@
+"""PCM device model: row-buffer timing, persist semantics, backing store."""
+
+import pytest
+
+from repro.mem import NVMDevice, NVMStore, NVMTiming
+
+
+class TestTimingConstants:
+    def test_table3_defaults(self):
+        t = NVMTiming()
+        assert t.read_ns == 60.0
+        assert t.write_ns == 150.0
+        assert t.t_rcd_ns == 55.0
+
+    def test_derived_latencies(self):
+        t = NVMTiming()
+        assert t.row_hit_ns == pytest.approx(17.5)
+        assert t.row_miss_read_ns == pytest.approx(77.5)
+        assert t.dirty_evict_ns == 150.0
+
+
+class TestRowBuffer:
+    def test_first_access_misses(self):
+        dev = NVMDevice()
+        lat = dev.read(0)
+        assert lat == pytest.approx(dev.timing.row_miss_read_ns)
+        assert dev.stats.get("row_misses") == 1
+
+    def test_second_access_same_row_hits(self):
+        dev = NVMDevice()
+        dev.read(0)
+        lat = dev.read(64)
+        assert lat == pytest.approx(dev.timing.row_hit_ns)
+        assert dev.stats.get("row_hits") == 1
+
+    def test_different_row_same_bank_misses(self):
+        dev = NVMDevice()
+        dev.read(0)
+        # Same bank, different row: one full device row span away.
+        span = dev.address_map.row_buffer_bytes * dev.address_map.total_banks
+        dev.read(span)
+        assert dev.stats.get("row_misses") == 2
+
+    def test_banks_independent(self):
+        dev = NVMDevice()
+        dev.read(0)
+        dev.read(1024)  # next bank under RoRaBaChCo
+        dev.read(64)  # back to bank 0 — row still open
+        assert dev.stats.get("row_hits") == 1
+
+    def test_dirty_row_writeback_charged(self):
+        dev = NVMDevice()
+        dev.write(0)  # opens row, dirties it
+        span = dev.address_map.row_buffer_bytes * dev.address_map.total_banks
+        lat = dev.read(span)  # evicts dirty row first
+        assert lat >= dev.timing.dirty_evict_ns
+        assert dev.stats.get("dirty_row_writebacks") == 1
+
+
+class TestPersistWrites:
+    def test_persist_write_pays_array_write(self):
+        dev = NVMDevice()
+        lat_posted = dev.write(0)
+        lat_persist = dev.write(64, persist=True)
+        assert lat_persist >= lat_posted + dev.timing.dirty_evict_ns - dev.timing.row_miss_read_ns
+
+    def test_persist_cleans_row(self):
+        dev = NVMDevice()
+        dev.write(0, persist=True)
+        span = dev.address_map.row_buffer_bytes * dev.address_map.total_banks
+        dev.read(span)
+        assert dev.stats.get("dirty_row_writebacks") == 0
+
+    def test_counters(self):
+        dev = NVMDevice()
+        dev.read(0)
+        dev.write(64)
+        dev.write(128, persist=True)
+        assert dev.read_count == 1
+        assert dev.write_count == 2
+        assert dev.stats.get("persist_writes") == 1
+
+
+class TestAdaptivePolicy:
+    def test_adaptive_close_after_streak(self):
+        dev = NVMDevice()
+        span = dev.address_map.row_buffer_bytes * dev.address_map.total_banks
+        for i in range(NVMDevice.ADAPT_THRESHOLD + 1):
+            dev.read(i * span)  # every access a new row in bank 0
+        assert dev.stats.get("adaptive_closes") >= 1
+
+
+class TestNVMStore:
+    def test_unwritten_reads_erased(self):
+        assert NVMStore().read_line(0) == bytes(64)
+
+    def test_roundtrip(self):
+        store = NVMStore()
+        store.write_line(128, bytes(range(64)))
+        assert store.read_line(128) == bytes(range(64))
+
+    def test_line_aligned_addressing(self):
+        store = NVMStore()
+        store.write_line(64, b"\x01" * 64)
+        assert store.read_line(100) == b"\x01" * 64  # same line
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(ValueError):
+            NVMStore().write_line(0, b"short")
+
+    def test_contains_and_len(self):
+        store = NVMStore()
+        assert 0 not in store
+        store.write_line(0, bytes(64))
+        assert 0 in store and 63 in store
+        assert len(store) == 1
+
+    def test_scan_returns_attacker_view(self):
+        store = NVMStore()
+        store.write_line(0, b"\xab" * 64)
+        store.write_line(64, b"\xcd" * 64)
+        view = store.scan()
+        assert view == {0: b"\xab" * 64, 64: b"\xcd" * 64}
+        # The scan is a copy, not the live store.
+        view[0] = b"\x00" * 64
+        assert store.read_line(0) == b"\xab" * 64

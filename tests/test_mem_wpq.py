@@ -1,0 +1,99 @@
+"""Write Pending Queue: burst absorption and the full-queue stall cliff."""
+
+import pytest
+
+from repro.mem import WPQConfig, WritePendingQueue
+from repro.sim import Machine, MachineConfig, Scheme
+
+
+class TestQueueModel:
+    def test_single_accept_is_cheap(self):
+        wpq = WritePendingQueue(WPQConfig(entries=4))
+        assert wpq.accept(0.0) == pytest.approx(wpq.config.accept_ns)
+
+    def test_burst_within_capacity_absorbed(self):
+        wpq = WritePendingQueue(WPQConfig(entries=4, drain_ns_per_entry=150.0))
+        for _ in range(4):
+            assert wpq.accept(0.0) == pytest.approx(wpq.config.accept_ns)
+        assert wpq.occupancy_at(0.0) == 4
+
+    def test_burst_beyond_capacity_stalls(self):
+        wpq = WritePendingQueue(WPQConfig(entries=4, drain_ns_per_entry=150.0))
+        for _ in range(4):
+            wpq.accept(0.0)
+        stalled = wpq.accept(0.0)
+        assert stalled > wpq.config.accept_ns
+        assert wpq.stats.get("stalls") == 1
+
+    def test_drain_over_time_frees_slots(self):
+        wpq = WritePendingQueue(WPQConfig(entries=4, drain_ns_per_entry=100.0))
+        for _ in range(4):
+            wpq.accept(0.0)
+        # 250 ns later, two entries have drained.
+        assert wpq.occupancy_at(250.0) == 2
+        assert wpq.accept(250.0) == pytest.approx(wpq.config.accept_ns)
+
+    def test_spaced_flushes_never_stall(self):
+        wpq = WritePendingQueue(WPQConfig(entries=2, drain_ns_per_entry=100.0))
+        now = 0.0
+        for _ in range(20):
+            assert wpq.accept(now) == pytest.approx(wpq.config.accept_ns)
+            now += 150.0  # slower than the drain rate
+        assert wpq.stats.get("stalls") == 0
+
+    def test_drain_all(self):
+        wpq = WritePendingQueue(WPQConfig(entries=4, drain_ns_per_entry=100.0))
+        for _ in range(3):
+            wpq.accept(0.0)
+        assert wpq.drain_all(0.0) == pytest.approx(300.0)
+        assert wpq.occupancy_at(0.0) == 0
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            WPQConfig(entries=0)
+
+
+class TestMachineIntegration:
+    def _machine(self, model_wpq):
+        machine = Machine(MachineConfig(scheme=Scheme.BASELINE_SECURE, model_wpq=model_wpq))
+        machine.add_user(uid=1000, gid=100, passphrase="p")
+        return machine
+
+    def test_disabled_by_default(self):
+        assert self._machine(False).wpq is None
+
+    def test_enabled_counts_accepts(self):
+        machine = self._machine(True)
+        handle = machine.create_file("/pmem/f", uid=1000)
+        base = machine.mmap(handle, pages=4)
+        machine.persist(base, 4096)  # 64 back-to-back flushes
+        assert machine.wpq.stats.get("accepts") == 64
+
+    def test_large_burst_hits_the_stall_cliff(self):
+        machine = self._machine(True)
+        handle = machine.create_file("/pmem/f", uid=1000)
+        base = machine.mmap(handle, pages=4)
+        machine.persist(base, 4096)
+        assert machine.wpq.stats.get("stalls") > 0
+
+    def test_slow_device_makes_bursts_expensive(self):
+        """The cliff the fixed-ADR constant cannot express: with a slow
+        drain (wear-degraded PCM, say), a flush burst's cost scales with
+        the device rate, not the constant."""
+        from repro.mem import WPQConfig
+
+        def run(drain_ns):
+            machine = Machine(MachineConfig(
+                scheme=Scheme.BASELINE_SECURE,
+                model_wpq=True,
+                wpq=WPQConfig(entries=16, drain_ns_per_entry=drain_ns),
+            ))
+            machine.add_user(uid=1000, gid=100, passphrase="p")
+            handle = machine.create_file("/pmem/f", uid=1000)
+            base = machine.mmap(handle, pages=4)
+            machine.store(base, 4096)
+            start = machine.elapsed_ns
+            machine.persist(base, 4096)
+            return machine.elapsed_ns - start
+
+        assert run(600.0) > run(150.0) * 1.5

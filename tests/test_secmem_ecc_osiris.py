@@ -1,0 +1,168 @@
+"""SEC-DED ECC codec and Osiris stop-loss crash consistency."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.secmem import (
+    CounterRecoveryError,
+    OsirisRecovery,
+    OsirisTracker,
+    check_line,
+    check_word,
+    encode_line,
+    encode_word,
+)
+
+
+class TestEccWord:
+    def test_zero_word(self):
+        assert check_word(0, encode_word(0))
+
+    def test_roundtrip(self):
+        for word in (1, 0xDEADBEEF, (1 << 64) - 1, 0x0123456789ABCDEF):
+            assert check_word(word, encode_word(word))
+
+    def test_single_bit_flip_detected(self):
+        word = 0xDEADBEEF
+        ecc = encode_word(word)
+        for bit in (0, 13, 63):
+            assert not check_word(word ^ (1 << bit), ecc)
+
+    def test_double_bit_flip_detected(self):
+        word = 0xCAFEBABE
+        ecc = encode_word(word)
+        assert not check_word(word ^ 0b11, ecc)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            encode_word(1 << 64)
+        with pytest.raises(ValueError):
+            encode_word(-1)
+
+    @given(word=st.integers(0, (1 << 64) - 1), bit=st.integers(0, 63))
+    @settings(max_examples=50, deadline=None)
+    def test_any_single_flip_detected_property(self, word, bit):
+        assert not check_word(word ^ (1 << bit), encode_word(word))
+
+
+class TestEccLine:
+    def test_roundtrip(self):
+        line = bytes(range(64))
+        assert check_line(line, encode_line(line))
+
+    def test_corrupt_byte_detected(self):
+        line = bytes(range(64))
+        ecc = encode_line(line)
+        corrupted = bytes([line[0] ^ 0xFF]) + line[1:]
+        assert not check_line(corrupted, ecc)
+
+    def test_garbage_line_fails_with_high_probability(self):
+        """A wrongly-decrypted line looks random; at least one of its
+        eight words must fail — this is what Osiris recovery leans on."""
+        line = bytes(range(64))
+        ecc = encode_line(line)
+        import hashlib
+
+        failures = 0
+        for trial in range(32):
+            garbage = hashlib.sha256(bytes([trial])).digest() * 2
+            if not check_line(garbage, ecc):
+                failures += 1
+        assert failures == 32
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            encode_line(bytes(32))
+        with pytest.raises(ValueError):
+            check_line(bytes(64), bytes(4))
+
+
+class TestOsirisTracker:
+    def test_persist_forced_at_stop_loss(self):
+        tracker = OsirisTracker(stop_loss=3)
+        assert tracker.note_update(0) is False
+        assert tracker.note_update(0) is False
+        assert tracker.note_update(0) is True  # 3rd update forces persist
+        assert tracker.distance(0) == 0
+
+    def test_lines_tracked_independently(self):
+        tracker = OsirisTracker(stop_loss=2)
+        tracker.note_update(0)
+        assert tracker.note_update(64) is False
+        assert tracker.note_update(0) is True
+
+    def test_external_persist_resets_distance(self):
+        tracker = OsirisTracker(stop_loss=4)
+        tracker.note_update(0)
+        tracker.note_persisted(0)  # e.g. metadata-cache eviction
+        assert tracker.distance(0) == 0
+        assert tracker.note_update(0) is False
+
+    def test_pending_lines(self):
+        tracker = OsirisTracker(stop_loss=4)
+        tracker.note_update(0)
+        tracker.note_update(64)
+        tracker.note_persisted(64)
+        assert tracker.pending_lines() == {0: 1}
+
+    def test_stop_loss_validation(self):
+        with pytest.raises(ValueError):
+            OsirisTracker(stop_loss=0)
+
+    def test_stop_loss_one_always_persists(self):
+        tracker = OsirisTracker(stop_loss=1)
+        assert tracker.note_update(0) is True
+        assert tracker.note_update(0) is True
+
+
+class TestOsirisRecovery:
+    @staticmethod
+    def _scheme(true_counter: int):
+        """A toy counter-keyed cipher: XOR with a counter-derived pad."""
+        import hashlib
+
+        plaintext = bytes(range(64))
+        ecc = encode_line(plaintext)
+
+        def pad(counter: int) -> bytes:
+            return hashlib.sha256(counter.to_bytes(8, "big")).digest() * 2
+
+        ciphertext = bytes(a ^ b for a, b in zip(plaintext, pad(true_counter)))
+
+        def decrypt_with(candidate: int) -> bytes:
+            return bytes(a ^ b for a, b in zip(ciphertext, pad(candidate)))
+
+        def ecc_ok(line: bytes) -> bool:
+            return check_line(line, ecc)
+
+        return decrypt_with, ecc_ok
+
+    def test_recovers_exact_counter(self):
+        decrypt_with, ecc_ok = self._scheme(true_counter=7)
+        result = OsirisRecovery(stop_loss=4).recover_counter(7, decrypt_with, ecc_ok)
+        assert result.recovered_value == 7
+        assert result.trials == 1
+
+    def test_recovers_ahead_of_persisted(self):
+        decrypt_with, ecc_ok = self._scheme(true_counter=10)
+        result = OsirisRecovery(stop_loss=4).recover_counter(7, decrypt_with, ecc_ok)
+        assert result.recovered_value == 10
+        assert result.trials == 4
+
+    def test_recovery_at_stop_loss_boundary(self):
+        decrypt_with, ecc_ok = self._scheme(true_counter=11)
+        result = OsirisRecovery(stop_loss=4).recover_counter(7, decrypt_with, ecc_ok)
+        assert result.recovered_value == 11
+
+    def test_beyond_stop_loss_fails(self):
+        decrypt_with, ecc_ok = self._scheme(true_counter=12)
+        with pytest.raises(CounterRecoveryError):
+            OsirisRecovery(stop_loss=4).recover_counter(7, decrypt_with, ecc_ok)
+
+    def test_stats(self):
+        decrypt_with, ecc_ok = self._scheme(true_counter=9)
+        recovery = OsirisRecovery(stop_loss=4)
+        recovery.recover_counter(7, decrypt_with, ecc_ok)
+        assert recovery.stats.get("recovered") == 1
+        assert recovery.stats.get("trials") == 3

@@ -1,0 +1,128 @@
+"""Multi-process machine: isolated address spaces, shared files, DF-bit."""
+
+import pytest
+
+from repro.kernel import PageFault
+from repro.mem import PAGE_SIZE
+from repro.sim import Machine, MachineConfig, Scheme
+
+
+def make_machine(functional=False):
+    machine = Machine(MachineConfig(scheme=Scheme.FSENCR, functional=functional))
+    machine.add_user(uid=1000, gid=100, passphrase="alice")
+    machine.add_user(uid=2000, gid=200, passphrase="bob")
+    return machine
+
+
+class TestProcessLifecycle:
+    def test_default_process_is_zero(self):
+        assert make_machine().current_pid == 0
+
+    def test_create_and_switch(self):
+        machine = make_machine()
+        machine.create_process(1)
+        machine.switch_process(1)
+        assert machine.current_pid == 1
+
+    def test_duplicate_pid_rejected(self):
+        machine = make_machine()
+        with pytest.raises(ValueError):
+            machine.create_process(0)
+
+    def test_switch_to_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_machine().switch_process(7)
+
+    def test_switch_charges_time(self):
+        machine = make_machine()
+        machine.create_process(1)
+        before = machine.elapsed_ns
+        machine.switch_process(1)
+        assert machine.elapsed_ns > before
+
+    def test_switch_to_self_free(self):
+        machine = make_machine()
+        before = machine.elapsed_ns
+        machine.switch_process(0)
+        assert machine.elapsed_ns == before
+
+
+class TestIsolation:
+    def test_mappings_are_per_process(self):
+        machine = make_machine()
+        handle = machine.create_file("/pmem/f", uid=1000)
+        base = machine.mmap(handle, pages=1)
+        machine.load(base, 8)  # fine in process 0
+        machine.create_process(1)
+        machine.switch_process(1)
+        with pytest.raises(PageFault):
+            machine.load(base, 8)  # unmapped in process 1
+
+    def test_same_vaddr_different_files(self):
+        """Both processes can use overlapping virtual ranges."""
+        machine = make_machine(functional=True)
+        a = machine.create_file("/pmem/a", uid=1000, encrypted=True)
+        base_a = machine.mmap(a, pages=1)
+        machine.store_bytes(base_a, b"process zero data")
+
+        machine.create_process(1)
+        machine.switch_process(1)
+        b = machine.create_file("/pmem/b", uid=2000, encrypted=True)
+        base_b = machine.mmap(b, pages=1)
+        assert base_b == base_a  # same virtual address, fresh space
+        machine.store_bytes(base_b, b"process one data!")
+
+        machine.switch_process(0)
+        assert machine.load_bytes(base_a, 17) == b"process zero data"
+        machine.switch_process(1)
+        assert machine.load_bytes(base_b, 17) == b"process one data!"
+
+    def test_context_switch_flushes_tlb(self):
+        machine = make_machine()
+        handle = machine.create_file("/pmem/f", uid=1000)
+        base = machine.mmap(handle, pages=1)
+        machine.load(base, 8)
+        machine.create_process(1)
+        machine.switch_process(1)
+        machine.switch_process(0)
+        # Back in process 0: page table intact, but the TLB was flushed.
+        assert machine.mmu.tlb.occupancy == 0
+        machine.load(base, 8)  # re-walks, no fault
+
+
+class TestSharedFiles:
+    def test_two_processes_share_a_dax_file(self):
+        """Shared mmap: both processes see one another's writes through
+        the shared physical pages (and the same FECB/key)."""
+        machine = make_machine(functional=True)
+        handle = machine.create_file("/pmem/shared", uid=1000, encrypted=True)
+        base0 = machine.mmap(handle, pages=1)
+        machine.store_bytes(base0, b"written by p0")
+
+        machine.create_process(1)
+        machine.switch_process(1)
+        shared = machine.open_file("/pmem/shared", uid=1000)
+        base1 = machine.mmap(shared, pages=1)
+        assert machine.load_bytes(base1, 13) == b"written by p0"
+        machine.store_bytes(base1, b"updated by p1")
+
+        machine.switch_process(0)
+        assert machine.load_bytes(base0, 13) == b"updated by p1"
+
+    def test_df_bit_set_in_both_processes(self):
+        machine = make_machine()
+        handle = machine.create_file("/pmem/shared", uid=1000, encrypted=True)
+        base0 = machine.mmap(handle, pages=1)
+        machine.load(base0, 8)
+        vpn0 = base0 // PAGE_SIZE
+        pte0 = machine.mmu.page_table.lookup(vpn0)
+
+        machine.create_process(1)
+        machine.switch_process(1)
+        shared = machine.open_file("/pmem/shared", uid=1000)
+        base1 = machine.mmap(shared, pages=1)
+        machine.load(base1, 8)
+        pte1 = machine.mmu.page_table.lookup(base1 // PAGE_SIZE)
+
+        assert pte0.df and pte1.df
+        assert pte0.pfn == pte1.pfn  # same physical page

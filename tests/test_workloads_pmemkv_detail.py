@@ -1,0 +1,83 @@
+"""PMEMKV driver internals: key sequences, pool sizing, phases."""
+
+import pytest
+
+from repro.sim import Machine, MachineConfig, Scheme
+from repro.workloads import make_pmemkv_workload, run_workload
+from repro.workloads.pmemkv import LARGE_VALUE, SMALL_VALUE, Fillrandom, Readrandom
+
+
+CFG = MachineConfig(scheme=Scheme.FSENCR)
+
+
+class TestConstruction:
+    def test_name_derivation_from_value_size(self):
+        assert Fillrandom(value_size=64).name == "Fillrandom-S"
+        assert Fillrandom(value_size=4096).name == "Fillrandom-L"
+        assert Fillrandom(value_size=256).name == "Fillrandom-S"  # <=256 is S
+        assert Fillrandom(value_size=257).name == "Fillrandom-L"
+
+    def test_default_ops_differ_by_size(self):
+        assert Fillrandom(value_size=SMALL_VALUE).ops > Fillrandom(value_size=LARGE_VALUE).ops
+
+    def test_invalid_value_size(self):
+        with pytest.raises(ValueError):
+            Fillrandom(value_size=0)
+
+    def test_explicit_ops_respected(self):
+        assert Fillrandom(value_size=64, ops=123).ops == 123
+
+
+class TestKeySequences:
+    def test_sequential_keys_ordered(self):
+        w = Fillrandom(value_size=64, ops=20)
+        assert w._keys(shuffled=False) == list(range(20))
+
+    def test_shuffled_keys_are_permutation(self):
+        w = Fillrandom(value_size=64, ops=20, seed=7)
+        keys = w._keys(shuffled=True)
+        assert sorted(keys) == list(range(20))
+        assert keys != list(range(20))
+
+    def test_shuffle_deterministic_per_seed(self):
+        a = Fillrandom(value_size=64, ops=20, seed=7)._keys(shuffled=True)
+        b = Fillrandom(value_size=64, ops=20, seed=7)._keys(shuffled=True)
+        assert a == b
+
+    def test_shuffle_differs_across_seeds(self):
+        a = Fillrandom(value_size=64, ops=20, seed=7)._keys(shuffled=True)
+        b = Fillrandom(value_size=64, ops=20, seed=8)._keys(shuffled=True)
+        assert a != b
+
+
+class TestPoolSizing:
+    def test_pool_holds_the_dataset(self):
+        """The pool must absorb the fill (and overwrite churn) without
+        PoolExhausted at any supported op count."""
+        for name in ("Fillrandom-S", "Fillrandom-L", "Overwrite-L"):
+            run_workload(CFG, make_pmemkv_workload(name, ops=50))  # no raise
+
+    def test_pool_pages_bounded(self):
+        w = Fillrandom(value_size=4096, ops=10_000)
+        assert w._pool_pages() <= 24 * 1024  # stays within the PMEM mount
+
+
+class TestMeasurementPhases:
+    def test_prefill_excluded_from_measurement(self):
+        """Readrandom pre-fills before the mark: its measured window must
+        not include the fill's write traffic."""
+        machine = Machine(CFG)
+        machine.add_user(uid=1000, gid=100, passphrase="workload-pass")
+        workload = Readrandom(value_size=64, ops=50)
+        workload.run(machine)
+        result = machine.result(workload.name)
+        total_writes = machine.device.write_count
+        assert result.nvm_writes < total_writes  # fill writes excluded
+
+    def test_fill_included_for_fill_benchmarks(self):
+        machine = Machine(CFG)
+        machine.add_user(uid=1000, gid=100, passphrase="workload-pass")
+        workload = Fillrandom(value_size=64, ops=50)
+        workload.run(machine)
+        result = machine.result(workload.name)
+        assert result.nvm_writes > 0

@@ -1,0 +1,155 @@
+"""Redo-logged transactions: protocol, atomicity under crashes, workload."""
+
+import pytest
+
+from repro.mem import PAGE_SIZE
+from repro.sim import Machine, MachineConfig, Scheme
+from repro.workloads import PersistentAllocator, run_workload
+from repro.workloads.transactions import (
+    BankAccounts,
+    BankWorkload,
+    RedoLog,
+    TxError,
+)
+
+
+def setup(functional=True, accounts=8):
+    machine = Machine(MachineConfig(scheme=Scheme.FSENCR, functional=functional))
+    machine.add_user(uid=1000, gid=100, passphrase="pw")
+    handle = machine.create_file("/pmem/bank", uid=1000, encrypted=True)
+    base = machine.mmap(handle, pages=64)
+    allocator = PersistentAllocator(machine, base, 64 * PAGE_SIZE)
+    bank = BankAccounts(machine, allocator, accounts=accounts, opening=100)
+    log = RedoLog(machine, allocator)
+    return machine, bank, log
+
+
+class TestProtocol:
+    def test_nested_begin_rejected(self):
+        _, _, log = setup()
+        log.begin()
+        with pytest.raises(TxError):
+            log.begin()
+
+    def test_commit_without_begin_rejected(self):
+        _, _, log = setup()
+        with pytest.raises(TxError):
+            log.commit()
+
+    def test_log_write_outside_tx_rejected(self):
+        _, _, log = setup()
+        with pytest.raises(TxError):
+            log.log_write(0, bytes(8))
+
+    def test_capacity_enforced(self):
+        machine, bank, _ = setup()
+        handle = machine.open_file("/pmem/bank", uid=1000)
+        # A tiny log overflows quickly.
+        base = machine.mmap(handle, pages=4)
+        small = RedoLog(machine, PersistentAllocator(machine, base, 4 * PAGE_SIZE), capacity=1)
+        small.begin()
+        small.log_write(bank.addr(0), bytes(8))
+        with pytest.raises(TxError):
+            small.log_write(bank.addr(1), bytes(8))
+
+    def test_abort_leaves_state_untouched(self):
+        _, bank, log = setup()
+        log.begin()
+        log.log_write(bank.addr(0), (999).to_bytes(8, "big"))
+        log.abort()
+        assert bank.balance(0) == 100
+
+
+class TestAtomicity:
+    def test_committed_transfer_applies(self):
+        _, bank, log = setup()
+        bank.transfer(log, 0, 1, 25)
+        assert bank.balance(0) == 75
+        assert bank.balance(1) == 125
+
+    def test_total_invariant_over_many_transfers(self):
+        _, bank, log = setup(accounts=6)
+        import random
+
+        rng = random.Random(4)
+        for _ in range(40):
+            src, dst = rng.sample(range(6), 2)
+            bank.transfer(log, src, dst, rng.randrange(1, 10))
+        assert bank.total() == 6 * 100
+
+    def test_crash_before_commit_discards(self):
+        _, bank, log = setup()
+        log.begin()
+        log.log_write(bank.addr(0), (75).to_bytes(8, "big"))
+        log.log_write(bank.addr(1), (125).to_bytes(8, "big"))
+        image = log.crash()  # power fails before the commit marker
+        completed = log.recover(image)
+        assert completed is False
+        assert bank.balance(0) == 100 and bank.balance(1) == 100
+        assert bank.total() == 800
+
+    def test_crash_after_commit_replays(self):
+        _, bank, log = setup()
+        log.begin()
+        log.log_write(bank.addr(0), (75).to_bytes(8, "big"))
+        log.log_write(bank.addr(1), (125).to_bytes(8, "big"))
+        # Reach the committed state without applying (crash window
+        # between marker persist and apply).
+        log.machine.persist(log.log_base, 16)
+        log._state = RedoLog.COMMITTED
+        image = log.crash()
+        completed = log.recover(image)
+        assert completed is True
+        assert bank.balance(0) == 75 and bank.balance(1) == 125
+        assert bank.total() == 800
+
+    def test_replay_is_idempotent(self):
+        _, bank, log = setup()
+        log.begin()
+        log.log_write(bank.addr(0), (75).to_bytes(8, "big"))
+        log.log_write(bank.addr(1), (125).to_bytes(8, "big"))
+        log.machine.persist(log.log_base, 16)
+        log._state = RedoLog.COMMITTED
+        image = log.crash()
+        log.recover(image)
+        log.recover(image)  # a second replay must change nothing
+        assert bank.total() == 800
+
+    def test_log_never_holds_plaintext_on_dimm(self):
+        """The redo log lives in the encrypted file too: its records on
+        the DIMM are sealed like everything else."""
+        machine, bank, log = setup()
+        secret_value = (0xDEADBEEF).to_bytes(8, "big")
+        log.begin()
+        log.log_write(bank.addr(0), secret_value)
+        log.commit()
+        residue = b"".join(machine.controller.store.scan().values())
+        assert secret_value not in residue
+
+
+class TestBankWorkload:
+    def test_runs_and_counts(self):
+        cfg = MachineConfig(scheme=Scheme.FSENCR)
+        result = run_workload(cfg, BankWorkload(accounts=32, transfers=150))
+        assert result.elapsed_ns > 0
+        assert result.nvm_writes > 0  # persist-dense by construction
+
+    def test_deterministic(self):
+        cfg = MachineConfig(scheme=Scheme.FSENCR)
+        a = run_workload(cfg, BankWorkload(accounts=32, transfers=100, seed=5))
+        b = run_workload(cfg, BankWorkload(accounts=32, transfers=100, seed=5))
+        assert a.elapsed_ns == b.elapsed_ns
+
+    def test_fsencr_overhead_in_band(self):
+        from repro.workloads import compare_schemes
+
+        cmp = compare_schemes(
+            lambda: BankWorkload(accounts=64, transfers=300),
+            schemes=(Scheme.BASELINE_SECURE, Scheme.FSENCR),
+        )
+        row = cmp.against(Scheme.BASELINE_SECURE, Scheme.FSENCR)
+        assert 0.97 < row.slowdown < 1.4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BankWorkload(accounts=1)
