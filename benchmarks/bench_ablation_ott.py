@@ -23,7 +23,10 @@ def run_with_ott(entries: int, num_files: int = 48, rounds: int = 6):
     # and the shrunken tables must refill from the encrypted region.
     config = MachineConfig(scheme=Scheme.FSENCR).with_metadata_cache(4 * 1024)
     machine = Machine(config)
-    machine.controller.ott = OpenTunnelTable(banks=1, entries_per_bank=entries)
+    # White-box ablation: OTT capacity is not (yet) a MachineConfig knob,
+    # so this deliberately swaps the component in-place.  ROADMAP tracks
+    # promoting it to a config field.
+    machine.controller.ott = OpenTunnelTable(banks=1, entries_per_bank=entries)  # repro-lint: disable=config-not-component
     machine.add_user(uid=1000, gid=100, passphrase="pw")
     workload = ManyFilesWorkload(
         num_files=num_files, rounds=rounds, pages_per_file=8, touches_per_round=4

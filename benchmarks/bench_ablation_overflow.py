@@ -24,6 +24,9 @@ HOT_WRITES = 1024  # 8 overflows of one line's minor counter
 
 
 def hammer(model_overflow: bool):
+    # White-box ablation: hammers one counter line against a bare
+    # controller (no machine) to isolate the overflow path's cost.
+    # repro-lint: disable=config-not-component
     controller = BaselineSecureController(
         layout=LAYOUT,
         config=SecureControllerConfig(model_counter_overflow=model_overflow),

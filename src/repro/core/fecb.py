@@ -110,6 +110,5 @@ class FECBStore:
         self._blocks.clear()
         for page, (group_id, file_id, major, minors) in snapshot.items():
             blk = FECBlock(group_id=group_id, file_id=file_id)
-            blk.counters.major = major
-            blk.counters.minors = list(minors)
+            blk.counters.load(major, minors)
             self._blocks[page] = blk

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import hashlib
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..crypto.aes import AES128
@@ -48,11 +48,16 @@ class KeyUnavailableError(Exception):
 
 @dataclass(frozen=True)
 class OTTEntry:
-    """One file-key binding."""
+    """One file-key binding.
+
+    ``key`` is excluded from the auto-repr: entries surface in
+    tracebacks and debug dumps, and plaintext file keys must never be
+    rendered (§III-E — key-hygiene lint rule).
+    """
 
     group_id: int
     file_id: int
-    key: bytes
+    key: bytes = field(repr=False)
 
     def __post_init__(self) -> None:
         if not 0 <= self.group_id < (1 << GROUP_ID_BITS):

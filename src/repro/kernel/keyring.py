@@ -34,7 +34,9 @@ class SessionKeyring:
     """One user's logged-in session: their derived FEKEK."""
 
     uid: int
-    fekek: bytes
+    # repr=False: the derived FEKEK is key material; session objects show
+    # up in debug output and must not render it (key-hygiene lint rule).
+    fekek: bytes = field(repr=False)
 
     def wrap(self, fek: bytes) -> WrappedKey:
         return wrap_key(fek, self.fekek)

@@ -1,0 +1,30 @@
+"""repro.lint — AST-based invariant linter for the FsEncr simulator.
+
+The simulator encodes hardware contracts that ordinary tests cannot see
+being violated: 7-bit minor counters, 18/14-bit Group/File IDs, on-chip
+keys that must never be printed, cycle accounting that must stay
+integer-exact, persistence that must flow through the controller.  This
+package walks every source file, checks those contracts statically, and
+fails CI on regressions.
+
+Usage::
+
+    python -m repro.lint src benchmarks --strict
+    python -m repro.lint --format json
+    repro-lint --list-rules
+
+See ``docs/LINT.md`` for the rule catalogue and the invariant each rule
+protects.
+"""
+
+from .engine import Finding, LintError, Project, SourceFile, lint_paths
+from .rules import RULES
+
+__all__ = [
+    "Finding",
+    "LintError",
+    "Project",
+    "SourceFile",
+    "lint_paths",
+    "RULES",
+]

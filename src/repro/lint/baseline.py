@@ -1,0 +1,91 @@
+"""Baseline file: accepted pre-existing findings, committed to the repo.
+
+The baseline lets the linter land with hard-failing CI even while some
+findings are intentionally tolerated: each entry grandfathers ``count``
+occurrences of one (rule, path, message) fingerprint.  Line numbers are
+deliberately not part of the identity so edits elsewhere in a file do
+not churn the baseline.  Entries may carry a human ``reason`` string;
+the matcher ignores it.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from .engine import Finding, LintError
+
+__all__ = ["Baseline", "split_findings"]
+
+_VERSION = 1
+
+
+class Baseline:
+    """Multiset of grandfathered finding fingerprints."""
+
+    def __init__(self, entries: Counter = None, reasons: Dict[Tuple[str, str, str], str] = None) -> None:
+        self.entries: Counter = entries or Counter()
+        self.reasons: Dict[Tuple[str, str, str], str] = reasons or {}
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise LintError(f"cannot read baseline {path}: {exc}") from exc
+        if raw.get("version") != _VERSION:
+            raise LintError(f"baseline {path}: unsupported version {raw.get('version')!r}")
+        entries: Counter = Counter()
+        reasons: Dict[Tuple[str, str, str], str] = {}
+        for item in raw.get("findings", []):
+            fingerprint = (item["rule"], item["path"], item["message"])
+            entries[fingerprint] += int(item.get("count", 1))
+            if item.get("reason"):
+                reasons[fingerprint] = item["reason"]
+        return cls(entries, reasons)
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        entries = Counter(f.fingerprint for f in findings)
+        return cls(entries)
+
+    def write(self, path: Path) -> None:
+        items = []
+        for (rule, rel, message), count in sorted(self.entries.items()):
+            item = {"rule": rule, "path": rel, "message": message, "count": count}
+            reason = self.reasons.get((rule, rel, message))
+            if reason:
+                item["reason"] = reason
+            items.append(item)
+        payload = {"version": _VERSION, "findings": items}
+        path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8")
+
+
+def split_findings(
+    findings: List[Finding], baseline: Baseline
+) -> Tuple[List[Finding], List[Finding], List[Dict[str, object]]]:
+    """Partition findings into (new, baselined) and report stale entries.
+
+    Stale entries — baseline fingerprints no longer produced — are
+    returned so ``--strict`` can fail on them: a stale entry means the
+    debt was paid and the baseline should shrink.
+    """
+    budget = Counter(baseline.entries)
+    new: List[Finding] = []
+    matched: List[Finding] = []
+    for finding in findings:
+        if budget.get(finding.fingerprint, 0) > 0:
+            budget[finding.fingerprint] -= 1
+            matched.append(finding)
+        else:
+            new.append(finding)
+    stale = [
+        {"rule": rule, "path": rel, "message": message, "count": count}
+        for (rule, rel, message), count in sorted(budget.items())
+        if count > 0
+    ]
+    return new, matched, stale

@@ -1,0 +1,194 @@
+"""Command-line front end: ``python -m repro.lint`` / ``repro-lint``.
+
+Exit codes:
+
+* 0 — clean (every finding suppressed inline or matched by the baseline;
+  with ``--strict``, additionally no stale baseline entries)
+* 1 — new findings (or, under ``--strict``, stale baseline entries)
+* 2 — usage, configuration, or parse error
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .baseline import Baseline, split_findings
+from .config import load_config
+from .engine import LintError, lint_paths
+from .rules import RULES
+
+__all__ = ["main", "run"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based invariant linter for the FsEncr simulator "
+        "(see docs/LINT.md for the rule catalogue).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: [tool.repro-lint] paths)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repository root (pyproject.toml and baseline live here; default: cwd)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json is what CI consumes)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on stale baseline entries (debt that has been paid off)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline file (default: [tool.repro-lint] baseline; '-' disables)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept all current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default=None,
+        help="comma-separated rule names to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _pick_rules(select: Optional[str], ignore: Optional[str]) -> List[object]:
+    names = list(RULES)
+    if select:
+        wanted = [part.strip() for part in select.split(",") if part.strip()]
+        unknown = [name for name in wanted if name not in RULES]
+        if unknown:
+            raise LintError(f"unknown rule(s): {', '.join(unknown)}")
+        names = [name for name in names if name in wanted]
+    if ignore:
+        dropped = {part.strip() for part in ignore.split(",") if part.strip()}
+        unknown = [name for name in dropped if name not in RULES]
+        if unknown:
+            raise LintError(f"unknown rule(s): {', '.join(unknown)}")
+        names = [name for name in names if name not in dropped]
+    return [RULES[name] for name in names]
+
+
+def _list_rules(fmt: str) -> int:
+    if fmt == "json":
+        payload = {
+            name: {"summary": rule.summary, "contract": rule.contract}
+            for name, rule in sorted(RULES.items())
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for name, rule in sorted(RULES.items()):
+            print(f"{name}: {rule.summary}")
+            if rule.contract:
+                print(f"    protects: {rule.contract}")
+    return 0
+
+
+def run(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        return _list_rules(args.format)
+
+    root = Path(args.root)
+    if not root.exists():
+        raise LintError(f"root does not exist: {root}")
+    options = load_config(root)
+    rules = _pick_rules(args.select, args.ignore)
+
+    raw_paths = args.paths or options.get("paths", ["."])
+    paths = [Path(p) if Path(p).is_absolute() else root / p for p in raw_paths]
+    findings, suppressed, file_count = lint_paths(paths, root, rules, options)
+
+    baseline_arg = args.baseline if args.baseline is not None else str(options.get("baseline", ""))
+    baseline_path: Optional[Path] = None
+    if baseline_arg and baseline_arg != "-":
+        candidate = Path(baseline_arg)
+        baseline_path = candidate if candidate.is_absolute() else root / candidate
+
+    if args.write_baseline:
+        if baseline_path is None:
+            raise LintError("--write-baseline needs a baseline path (config or --baseline)")
+        Baseline.from_findings(findings).write(baseline_path)
+        print(f"repro-lint: wrote {len(findings)} finding(s) to {baseline_path}")
+        return 0
+
+    baseline = Baseline.load(baseline_path) if baseline_path is not None else Baseline()
+    new, baselined, stale = split_findings(findings, baseline)
+
+    exit_code = 1 if new or (args.strict and stale) else 0
+    summary = {
+        "new": len(new),
+        "baselined": len(baselined),
+        "suppressed": suppressed,
+        "stale_baseline": len(stale),
+        "files": file_count,
+    }
+
+    if args.format == "json":
+        payload = {
+            "version": 1,
+            "findings": [dict(f.to_dict(), status="new") for f in new]
+            + [dict(f.to_dict(), status="baselined") for f in baselined],
+            "stale_baseline": stale,
+            "summary": summary,
+            "exit_code": exit_code,
+        }
+        print(json.dumps(payload, indent=2))
+        return exit_code
+
+    for finding in new:
+        print(finding.render())
+    if stale:
+        for entry in stale:
+            print(
+                f"stale baseline entry: {entry['rule']} in {entry['path']} "
+                f"(x{entry['count']}) no longer occurs — remove it"
+            )
+    status = "FAILED" if exit_code else "ok"
+    print(
+        f"repro-lint: {status} — {summary['new']} new, {summary['baselined']} baselined, "
+        f"{summary['suppressed']} suppressed, {summary['stale_baseline']} stale baseline "
+        f"entr{'y' if summary['stale_baseline'] == 1 else 'ies'} across {file_count} files"
+    )
+    return exit_code
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    try:
+        return run(argv)
+    except LintError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,129 @@
+"""bit-width-bounds — hardware field widths come from ``*_BITS`` constants.
+
+FsEncr's FECB packs an 18-bit Group ID, a 14-bit File ID, a 32-bit major
+counter and 64 x 7-bit minors into one 512-bit line (PAPER §III-D).  A
+hard-coded ``0x3FFFF`` mask or ``<< 18`` shift that silently disagrees
+with ``GROUP_ID_BITS`` corrupts every (group, file) -> key mapping, and
+an ID literal wider than its declared field aliases two files onto one
+FECB.  This rule makes the declared constants the single source of
+truth:
+
+* integer literals equal to ``(1 << B) - 1`` for a declared distinctive
+  width ``B`` must be written as the mask expression, not the value;
+* shift amounts equal to a declared distinctive width must name the
+  constant;
+* literal values bound to ``foo_id`` parameters/variables must fit the
+  declared ``FOO_ID_BITS`` width.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator
+
+from ..engine import Finding, Project, SourceFile
+from .base import Rule, register
+
+#: Widths too generic to police as literals (byte/word sizes show up
+#: everywhere for legitimate reasons).
+_GENERIC_WIDTHS = {1, 2, 4, 8, 16, 32, 64}
+
+
+def _distinctive(project: Project, options: Dict[str, object]) -> Dict[int, str]:
+    """width value -> constant name, for widths worth policing."""
+    min_bits = int(options.get("mask-min-bits", 14))
+    table: Dict[int, str] = {}
+    for name, bits in sorted(project.bits_constants.items()):
+        if bits >= min_bits and bits not in _GENERIC_WIDTHS:
+            table.setdefault(bits, name)
+    return table
+
+
+@register
+class BitWidthBounds(Rule):
+    name = "bit-width-bounds"
+    summary = "bit masks, shifts, and ID literals must agree with *_BITS constants"
+    contract = "PAPER §III-D/§III-E: FECB = 18b Group ID + 14b File ID + 32b major + 64x7b minors"
+
+    def check(self, src: SourceFile, project: Project, options) -> Iterator[Finding]:
+        widths = _distinctive(project, options)
+        masks = {(1 << bits) - 1: name for bits, name in widths.items()}
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.LShift, ast.RShift)):
+                amount = node.right
+                if (
+                    isinstance(amount, ast.Constant)
+                    and isinstance(amount.value, int)
+                    and amount.value in widths
+                ):
+                    yield self.finding(
+                        src,
+                        amount,
+                        f"shift by literal {amount.value} duplicates {widths[amount.value]}; "
+                        f"use the constant",
+                    )
+            elif isinstance(node, ast.Constant) and type(node.value) is int:
+                if node.value in masks:
+                    name = masks[node.value]
+                    yield self.finding(
+                        src,
+                        node,
+                        f"literal {node.value:#x} duplicates the {name} mask; "
+                        f"write (1 << {name}) - 1",
+                    )
+            elif isinstance(node, ast.Call):
+                yield from self._check_bound_kwargs(src, project, node)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                yield from self._check_bound_assign(src, project, node)
+
+    # -- declared-width bound checks ------------------------------------
+
+    def _width_for(self, project: Project, ident: str):
+        """``group_id`` -> (constant name, width) if GROUP_ID_BITS exists."""
+        candidate = f"{ident.upper()}_BITS"
+        bits = project.bits_constants.get(candidate)
+        return (candidate, bits) if bits is not None else None
+
+    def _bound_violation(self, src: SourceFile, project: Project, ident: str, value: ast.AST):
+        info = self._width_for(project, ident)
+        if info is None:
+            return None
+        constant, bits = info
+        if isinstance(value, ast.Constant) and type(value.value) is int:
+            if not 0 <= value.value < (1 << bits):
+                return self.finding(
+                    src,
+                    value,
+                    f"literal {value.value} does not fit {ident} "
+                    f"({constant} = {bits} bits)",
+                )
+        return None
+
+    def _check_bound_kwargs(self, src, project, call: ast.Call):
+        for kw in call.keywords:
+            if kw.arg is None:
+                continue
+            finding = self._bound_violation(src, project, kw.arg, kw.value)
+            if finding is not None:
+                yield finding
+
+    def _check_bound_assign(self, src, project, node):
+        if isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+            value = node.value
+        else:
+            targets = node.targets
+            value = node.value
+        if value is None:
+            return
+        for target in targets:
+            name = None
+            if isinstance(target, ast.Name):
+                name = target.id
+            elif isinstance(target, ast.Attribute):
+                name = target.attr
+            if name is None:
+                continue
+            finding = self._bound_violation(src, project, name, value)
+            if finding is not None:
+                yield finding

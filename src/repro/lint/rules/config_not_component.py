@@ -1,0 +1,51 @@
+"""config-not-component — benchmarks describe machines, never build parts.
+
+DESIGN.md's construction contract: "Benchmarks construct configs, never
+components" (mirrored in ``repro.sim.config``'s module docstring).  A
+benchmark that wires an ``OpenTunnelTable`` or a controller by hand
+duplicates ``Machine._build_controller`` and silently diverges from it
+the next time construction changes — the figure then measures a machine
+that no config can describe.  Everything a figure varies must be a
+``MachineConfig`` knob so runs stay reproducible from their recorded
+config alone.
+
+In benchmark paths this rule flags constructor calls of classes defined
+in the component layers (``mem``/``secmem``/``core``/``kernel``/``fs``).
+Config/value types (``*Config``, ``*Timing``, ``*Request``, enums, ...)
+are exempt.  Deliberate white-box ablations may suppress the finding
+inline with a justification comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, Project, SourceFile, path_matches
+from .base import Rule, register
+
+
+@register
+class ConfigNotComponent(Rule):
+    name = "config-not-component"
+    summary = "benchmarks construct MachineConfigs, never components"
+    contract = "DESIGN.md / repro.sim.config: benchmarks construct configs, never components"
+
+    def check(self, src: SourceFile, project: Project, options) -> Iterator[Finding]:
+        scoped = options.get("benchmark-paths", ["benchmarks/"])
+        if not path_matches(src.rel, scoped):
+            return
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", None)
+            if name is None or name not in project.component_classes:
+                continue
+            origin = project.component_classes[name]
+            yield self.finding(
+                src,
+                node,
+                f"benchmark constructs component {name} (defined in {origin}) directly; "
+                f"express the variation as a MachineConfig knob instead",
+            )

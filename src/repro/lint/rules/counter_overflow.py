@@ -1,0 +1,82 @@
+"""counter-overflow-handled — minor-counter writes go through ``bump``.
+
+The split-counter scheme (PAPER §II-C, §III-D) is only secure while a
+minor-counter overflow bumps the major counter, resets every minor, and
+re-encrypts the page — otherwise a counter (hence an AES-CTR pad) is
+reused and the one-time-pad property collapses.  ``CounterBlock.bump``
+is the one sanctioned increment path, so this rule flags:
+
+* direct assignment or augmented assignment to ``.minors`` / counter
+  ``.major`` attributes outside ``repro/secmem/counters.py`` (restore
+  paths must use ``CounterBlock.load``);
+* ``bump()`` calls whose boolean overflow result is discarded — the
+  ``True`` return is the "re-encrypt the whole page now" signal.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, Project, SourceFile, path_matches
+from .base import Rule, attr_chain, register
+
+_COUNTER_HINTS = ("counter", "blk", "block", "fecb", "mecb")
+
+
+def _counter_attr_target(node: ast.AST):
+    """The flagged attribute node if ``node`` mutates counter state."""
+    target = node
+    while isinstance(target, ast.Subscript):
+        target = target.value
+    if not isinstance(target, ast.Attribute):
+        return None
+    if target.attr == "minors":
+        return target
+    if target.attr == "major":
+        chain = attr_chain(target) or []
+        joined = ".".join(chain).lower()
+        if any(hint in joined for hint in _COUNTER_HINTS):
+            return target
+    return None
+
+
+@register
+class CounterOverflowHandled(Rule):
+    name = "counter-overflow-handled"
+    summary = "minor counters are written only via CounterBlock.bump/load, and bump's overflow result is consumed"
+    contract = "PAPER §II-C/§III-D: minor overflow must bump the major and re-encrypt the page"
+
+    def check(self, src: SourceFile, project: Project, options) -> Iterator[Finding]:
+        allowed = options.get("counter-modules", ["repro/secmem/counters.py"])
+        if path_matches(src.rel, allowed):
+            return
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    attr = _counter_attr_target(target)
+                    if attr is not None:
+                        yield self.finding(
+                            src,
+                            attr,
+                            f"direct write to counter field '.{attr.attr}' bypasses the "
+                            f"overflow path; use CounterBlock.bump()/load()/reset()",
+                        )
+            elif isinstance(node, ast.AugAssign):
+                attr = _counter_attr_target(node.target)
+                if attr is not None:
+                    yield self.finding(
+                        src,
+                        attr,
+                        f"in-place update of counter field '.{attr.attr}' bypasses the "
+                        f"overflow path; use CounterBlock.bump()",
+                    )
+            elif isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+                func = node.value.func
+                if isinstance(func, ast.Attribute) and func.attr == "bump":
+                    yield self.finding(
+                        src,
+                        node,
+                        "bump() result discarded: True means the minor overflowed and "
+                        "the page must be re-encrypted",
+                    )

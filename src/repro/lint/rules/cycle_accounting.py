@@ -1,0 +1,57 @@
+"""integer-cycle-accounting — StatCounters hold exact integers only.
+
+Event counters are the raw material of every figure: NVM reads/writes,
+cache hits, re-encryptions.  The paper normalises runs against baseline
+runs ("Normalized to the baseline", Figures 8-14), which stays exact
+only while counters are integers — a float increment introduces
+representation error that compounds across millions of events and can
+differ between Python builds.  Latencies are legitimately fractional
+(nanoseconds accumulate in ``Machine.clock_ns``); *counters* are not.
+This rule flags float literals (or ``float()`` casts) flowing into the
+amount argument of a ``StatCounters.add``-shaped call.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, Project, SourceFile
+from .base import Rule, attr_chain, contains_float_literal, register
+
+
+def _is_stats_receiver(chain) -> bool:
+    """['self', 'stats', 'add'] -> True; receiver must look like a
+    StatCounters bundle, not an arbitrary .add() (e.g. set.add)."""
+    if chain is None or len(chain) < 2:
+        return False
+    receiver = chain[:-1]
+    return any(part == "stats" or part.endswith("_stats") or part == "counters" for part in receiver)
+
+
+@register
+class IntegerCycleAccounting(Rule):
+    name = "integer-cycle-accounting"
+    summary = "StatCounters increments must be integer-exact"
+    contract = "PAPER Figures 8-14: normalised series derive from exact event counts"
+
+    def check(self, src: SourceFile, project: Project, options) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "add"):
+                continue
+            if not _is_stats_receiver(attr_chain(func)):
+                continue
+            amounts = list(node.args[1:]) + [kw.value for kw in node.keywords if kw.arg == "amount"]
+            for amount in amounts:
+                offender = contains_float_literal(amount)
+                if offender is not None:
+                    yield self.finding(
+                        src,
+                        offender,
+                        "float value flows into a StatCounters increment; counters must "
+                        "stay integer-exact (round latencies at the result boundary, "
+                        "not in counters)",
+                    )

@@ -1,0 +1,110 @@
+"""no-wallclock-or-unseeded-rng — the timing model is a pure function.
+
+Every figure in the paper is reproducible because a run is a pure
+function of (MachineConfig, workload, seed): the clock is the simulated
+``clock_ns``, never the host's, and all randomness flows from seeded
+``random.Random`` instances (DESIGN.md determinism contract;
+``MachineConfig.seed``).  Host wall-clock reads or the process-global
+``random`` module inside the model layers make runs non-replayable and
+CI flaky, so within the configured deterministic packages this rule
+bans:
+
+* ``time.time/monotonic/perf_counter/...`` and ``datetime.now/utcnow``;
+* the module-level ``random.*`` API (seeded instances via
+  ``random.Random(seed)`` are fine; ``random.SystemRandom`` is not);
+* ambient entropy: ``os.urandom``, ``uuid.uuid1/uuid4``, ``secrets.*``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Tuple
+
+from ..engine import Finding, Project, SourceFile, path_matches
+from .base import Rule, attr_chain, register
+
+_TIME_FNS = {
+    "time",
+    "time_ns",
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "process_time",
+    "process_time_ns",
+}
+_DATETIME_FNS = {"now", "utcnow", "today"}
+_RANDOM_ALLOWED = {"Random"}
+_UUID_FNS = {"uuid1", "uuid4"}
+
+#: (module, name) pairs banned when pulled in via ``from x import y``.
+_BANNED_FROM_IMPORTS = {
+    ("time", fn) for fn in _TIME_FNS
+} | {("os", "urandom"), ("uuid", "uuid1"), ("uuid", "uuid4")}
+
+
+@register
+class NoWallclockOrUnseededRng(Rule):
+    name = "no-wallclock-or-unseeded-rng"
+    summary = "model layers must not read host time or ambient randomness"
+    contract = "DESIGN.md: a run is a pure function of (config, workload, seed)"
+
+    def check(self, src: SourceFile, project: Project, options) -> Iterator[Finding]:
+        scoped = options.get("deterministic-paths", [])
+        if not path_matches(src.rel, scoped):
+            return
+        banned_names = self._from_import_bans(src)
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in banned_names:
+                origin = banned_names[func.id]
+                yield self.finding(
+                    src,
+                    node,
+                    f"call to {origin[0]}.{origin[1]} breaks determinism; derive values "
+                    f"from the simulated clock or the seeded RNG",
+                )
+                continue
+            chain = attr_chain(func)
+            if not chain or len(chain) < 2:
+                continue
+            verdict = self._banned_chain(chain)
+            if verdict:
+                yield self.finding(src, node, verdict)
+
+    def _banned_chain(self, chain) -> str:
+        head, tail = chain[0], chain[-1]
+        dotted = ".".join(chain)
+        if head == "time" and tail in _TIME_FNS:
+            return f"{dotted}() reads the host wall clock; use the machine's clock_ns"
+        if tail in _DATETIME_FNS and ("datetime" in chain or head == "date"):
+            return f"{dotted}() reads the host wall clock; use the machine's clock_ns"
+        if head == "random" and len(chain) == 2 and tail not in _RANDOM_ALLOWED:
+            return (
+                f"{dotted}() uses the process-global RNG; construct random.Random(seed) "
+                f"from MachineConfig.seed instead"
+            )
+        if head == "os" and tail == "urandom":
+            return f"{dotted}() is ambient entropy; thread entropy in from the seeded RNG"
+        if head == "uuid" and tail in _UUID_FNS:
+            return f"{dotted}() is non-deterministic; derive identifiers from the seed"
+        if head == "secrets":
+            return f"{dotted}() is ambient entropy; thread entropy in from the seeded RNG"
+        return ""
+
+    def _from_import_bans(self, src: SourceFile) -> Dict[str, Tuple[str, str]]:
+        bans: Dict[str, Tuple[str, str]] = {}
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ImportFrom) or node.module is None:
+                continue
+            for alias in node.names:
+                pair = (node.module, alias.name)
+                if pair in _BANNED_FROM_IMPORTS or node.module == "secrets":
+                    bans[alias.asname or alias.name] = pair
+                if node.module == "datetime" and alias.name in ("datetime", "date"):
+                    # datetime.now() via the class name is caught by the
+                    # attribute-chain check; nothing to record here.
+                    pass
+        return bans

@@ -86,6 +86,22 @@ class CounterBlock:
         self.major = 0
         self.minors = [0] * len(self.minors)
 
+    def load(self, major: int, minors) -> None:
+        """Restore persisted state wholesale (snapshots / crash recovery).
+
+        This is the one sanctioned write path besides :meth:`bump` —
+        restore sites must not poke ``major``/``minors`` directly, so
+        width validation stays in one place (repro-lint enforces this via
+        the counter-overflow-handled rule).
+        """
+        minors = list(minors)
+        if not 0 <= major < self.major_limit:
+            raise ValueError(f"major {major} exceeds {self.major_bits} bits")
+        if any(not 0 <= minor < self.minor_limit for minor in minors):
+            raise ValueError(f"minor counter exceeds {self.minor_bits} bits")
+        self.major = major
+        self.minors = minors
+
     def serialize(self) -> bytes:
         """Canonical byte encoding (hashed by the Merkle tree)."""
         packed = self.major
@@ -132,6 +148,5 @@ class CounterStore:
         self.blocks.clear()
         for page, (major, minors) in snapshot.items():
             blk = CounterBlock(major_bits=self.major_bits)
-            blk.major = major
-            blk.minors = list(minors)
+            blk.load(major, minors)
             self.blocks[page] = blk

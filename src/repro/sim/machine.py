@@ -123,7 +123,10 @@ class Machine:
             SoftwareEncryptionOverlay(
                 device=device,
                 costs=self.config.software_costs,
-                page_cache=PageCache(PageCacheConfig(self.config.page_cache_pages)),
+                page_cache=PageCache(
+                    PageCacheConfig(self.config.page_cache_pages),
+                    stats=self.registry.create("page_cache"),
+                ),
                 stats=self.registry.create("sw_overlay"),
                 encrypted=self.config.scheme is Scheme.SOFTWARE_ENCRYPTION,
             )

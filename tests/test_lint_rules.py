@@ -1,0 +1,662 @@
+"""Per-rule unit tests for repro.lint.
+
+Each rule gets at least one positive fixture (must flag) and one
+negative fixture (must stay quiet), all as small inline sources written
+into a scratch tree whose layout mirrors the real package (rules scope
+themselves by path).  The suppression and baseline mechanisms are
+round-tripped through the CLI's JSON output.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import RULES
+from repro.lint.baseline import Baseline, split_findings
+from repro.lint.cli import main as lint_main
+from repro.lint.config import DEFAULTS, load_config
+from repro.lint.engine import SourceFile, lint_sources
+
+
+def lint_snippet(tmp_path: Path, rel: str, source: str, rule: str = None):
+    """Write ``source`` at ``tmp_path/rel`` and lint it; returns findings."""
+    target = tmp_path / rel
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source), encoding="utf-8")
+    src = SourceFile.parse(target, tmp_path)
+    rules = [RULES[rule]] if rule else list(RULES.values())
+    findings, _ = lint_sources([src], tmp_path, rules, dict(DEFAULTS))
+    return findings
+
+
+def lint_tree(tmp_path: Path, files: dict, rule: str = None):
+    """Write several files, lint them all together (cross-file rules)."""
+    sources = []
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+        sources.append(SourceFile.parse(target, tmp_path))
+    rules = [RULES[rule]] if rule else list(RULES.values())
+    findings, suppressed = lint_sources(sources, tmp_path, rules, dict(DEFAULTS))
+    return findings, suppressed
+
+
+def test_registry_has_all_eight_rules():
+    assert set(RULES) == {
+        "bit-width-bounds",
+        "counter-overflow-handled",
+        "no-wallclock-or-unseeded-rng",
+        "integer-cycle-accounting",
+        "key-hygiene",
+        "persist-through-wpq",
+        "stats-registered",
+        "config-not-component",
+    }
+    for rule in RULES.values():
+        assert rule.summary and rule.contract
+
+
+# -- bit-width-bounds ----------------------------------------------------
+
+
+def test_bit_width_flags_literal_mask_and_shift(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "src/repro/core/x.py",
+        """
+        GROUP_ID_BITS = 18
+        ident = 12345
+        group = ident >> 14
+        masked = ident & 0x3FFFF
+        """,
+        rule="bit-width-bounds",
+    )
+    messages = [f.message for f in findings]
+    assert any("duplicates the GROUP_ID_BITS mask" in m for m in messages)
+    # 14 is not declared anywhere in this scratch tree, so the shift is fine.
+    assert not any("shift by literal 14" in m for m in messages)
+
+
+def test_bit_width_flags_shift_by_declared_width(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "src/repro/core/x.py",
+        """
+        FILE_ID_BITS = 14
+        GROUP_ID_BITS = 18
+        def pack(group_id, file_id):
+            return (group_id << 14) | file_id
+        """,
+        rule="bit-width-bounds",
+    )
+    assert any("shift by literal 14 duplicates FILE_ID_BITS" in f.message for f in findings)
+
+
+def test_bit_width_flags_oversized_id_literal(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "src/repro/core/x.py",
+        """
+        FILE_ID_BITS = 14
+        def make(cls):
+            return cls(file_id=99999)
+        """,
+        rule="bit-width-bounds",
+    )
+    assert any("does not fit file_id" in f.message for f in findings)
+
+
+def test_bit_width_quiet_when_constants_used(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "src/repro/core/x.py",
+        """
+        GROUP_ID_BITS = 18
+        FILE_ID_BITS = 14
+        def pack(group_id, file_id):
+            mask = (1 << GROUP_ID_BITS) - 1
+            return ((group_id & mask) << FILE_ID_BITS) | file_id
+        def make(cls):
+            return cls(file_id=1, group_id=3)
+        """,
+        rule="bit-width-bounds",
+    )
+    assert findings == []
+
+
+# -- counter-overflow-handled -------------------------------------------
+
+
+def test_counter_overflow_flags_direct_minor_write(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "src/repro/core/x.py",
+        """
+        def touch(block, i):
+            block.minors[i] += 1
+        """,
+        rule="counter-overflow-handled",
+    )
+    assert any("bypasses the overflow path" in f.message for f in findings)
+
+
+def test_counter_overflow_flags_ignored_bump_result(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "src/repro/secmem/x.py",
+        """
+        def write(block, i):
+            block.bump(i)
+        """,
+        rule="counter-overflow-handled",
+    )
+    assert any("result discarded" in f.message for f in findings)
+
+
+def test_counter_overflow_quiet_for_consumed_bump_and_load(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "src/repro/secmem/x.py",
+        """
+        def write(block, i, reencrypt):
+            if block.bump(i):
+                reencrypt()
+        def restore(block, major, minors):
+            block.load(major, minors)
+        """,
+        rule="counter-overflow-handled",
+    )
+    assert findings == []
+
+
+def test_counter_overflow_allows_counters_module_itself(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "src/repro/secmem/counters.py",
+        """
+        class CounterBlock:
+            def reset(self):
+                self.minors = [0] * 64
+        """,
+        rule="counter-overflow-handled",
+    )
+    assert findings == []
+
+
+# -- no-wallclock-or-unseeded-rng ---------------------------------------
+
+
+def test_determinism_flags_wallclock_and_global_rng(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "src/repro/sim/x.py",
+        """
+        import random
+        import time
+        def now():
+            return time.time()
+        def pick():
+            return random.randint(0, 7)
+        """,
+        rule="no-wallclock-or-unseeded-rng",
+    )
+    messages = " | ".join(f.message for f in findings)
+    assert "time.time" in messages and "random.randint" in messages
+
+
+def test_determinism_flags_from_import_alias(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "src/repro/mem/x.py",
+        """
+        from time import perf_counter as clock
+        def now():
+            return clock()
+        """,
+        rule="no-wallclock-or-unseeded-rng",
+    )
+    assert any("time.perf_counter" in f.message for f in findings)
+
+
+def test_determinism_allows_seeded_rng_and_other_layers(tmp_path):
+    quiet = lint_snippet(
+        tmp_path,
+        "src/repro/sim/x.py",
+        """
+        import random
+        def rng(seed):
+            return random.Random(seed)
+        """,
+        rule="no-wallclock-or-unseeded-rng",
+    )
+    assert quiet == []
+    # Outside the deterministic layers (e.g. analysis) wall clock is fine.
+    elsewhere = lint_snippet(
+        tmp_path,
+        "src/repro/analysis/x.py",
+        """
+        import time
+        def stamp():
+            return time.time()
+        """,
+        rule="no-wallclock-or-unseeded-rng",
+    )
+    assert elsewhere == []
+
+
+# -- integer-cycle-accounting -------------------------------------------
+
+
+def test_cycle_accounting_flags_float_increment(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "src/repro/mem/x.py",
+        """
+        def charge(self, latency):
+            self.stats.add("cycles", 2.5)
+            self.stats.add("more", latency * 1.5)
+        """,
+        rule="integer-cycle-accounting",
+    )
+    assert len(findings) == 2
+    assert all("integer-exact" in f.message for f in findings)
+
+
+def test_cycle_accounting_quiet_for_ints_and_non_stats(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "src/repro/mem/x.py",
+        """
+        def charge(self, seen):
+            self.stats.add("hits")
+            self.stats.add("lines", 4)
+            seen.add(2.5)  # a plain set, not a StatCounters
+        """,
+        rule="integer-cycle-accounting",
+    )
+    assert findings == []
+
+
+# -- key-hygiene ---------------------------------------------------------
+
+
+def test_key_hygiene_flags_repr_fstring_and_weak_hash(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "src/repro/crypto/x.py",
+        """
+        import hashlib
+        from dataclasses import dataclass
+
+        @dataclass
+        class Entry:
+            file_key: bytes
+
+        def debug(key):
+            return f"key is {key}"
+
+        def digest(data):
+            return hashlib.md5(data).digest()
+        """,
+        rule="key-hygiene",
+    )
+    messages = " | ".join(f.message for f in findings)
+    assert "auto-repr would print it" in messages
+    assert "f-string" in messages
+    assert "hashlib.md5" in messages
+
+
+def test_key_hygiene_quiet_for_hidden_fields_and_metadata(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "src/repro/crypto/x.py",
+        """
+        import hashlib
+        from dataclasses import dataclass, field
+
+        @dataclass
+        class Entry:
+            file_key: bytes = field(repr=False)
+
+        def check(key):
+            # len(key) is derived metadata, not the key itself.
+            raise ValueError(f"key must be 16 bytes, got {len(key)}")
+
+        def digest(data):
+            return hashlib.sha256(data).digest()
+        """,
+        rule="key-hygiene",
+    )
+    assert findings == []
+
+
+def test_key_hygiene_ignores_non_crypto_layers(tmp_path):
+    # Workload "keys" are KV-store keys, not key material.
+    findings = lint_snippet(
+        tmp_path,
+        "src/repro/workloads/x.py",
+        """
+        def missing(key):
+            return f"pre-filled key {key} missing"
+        """,
+        rule="key-hygiene",
+    )
+    assert findings == []
+
+
+# -- persist-through-wpq -------------------------------------------------
+
+
+def test_wpq_flags_raw_store_write_outside_controllers(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "src/repro/workloads/x.py",
+        """
+        def poke(machine):
+            machine.controller.store.write_line(0x1000, b"x" * 64)
+            machine.controller.device.write(0x1000)
+        """,
+        rule="persist-through-wpq",
+    )
+    assert len(findings) == 2
+
+
+def test_wpq_allows_controller_layer_and_reads(tmp_path):
+    quiet = lint_snippet(
+        tmp_path,
+        "src/repro/secmem/x.py",
+        """
+        def seal(self, addr, data):
+            self.store.write_line(addr, data)
+        """,
+        rule="persist-through-wpq",
+    )
+    assert quiet == []
+    reads = lint_snippet(
+        tmp_path,
+        "src/repro/analysis/x.py",
+        """
+        def attacker_view(controller, addr):
+            return controller.store.read_line(addr)
+        """,
+        rule="persist-through-wpq",
+    )
+    assert reads == []
+
+
+# -- stats-registered ----------------------------------------------------
+
+
+def test_stats_registered_flags_orphan_component(tmp_path):
+    findings, _ = lint_tree(
+        tmp_path,
+        {
+            "src/repro/mem/comp.py": """
+                class Widget:
+                    def __init__(self, size, stats=None):
+                        self.stats = stats
+            """,
+            "src/repro/sim/mach.py": """
+                from ..mem.stats import StatsRegistry
+                from ..mem.comp import Widget
+                class Machine:
+                    def __init__(self):
+                        self.registry = StatsRegistry()
+                        self.widget = Widget(4)
+            """,
+        },
+        rule="stats-registered",
+    )
+    assert any("Widget constructed without a stats bundle" in f.message for f in findings)
+
+
+def test_stats_registered_quiet_when_bundle_passed(tmp_path):
+    findings, _ = lint_tree(
+        tmp_path,
+        {
+            "src/repro/mem/comp.py": """
+                class Widget:
+                    def __init__(self, size, stats=None):
+                        self.stats = stats
+            """,
+            "src/repro/sim/mach.py": """
+                from ..mem.stats import StatsRegistry
+                from ..mem.comp import Widget
+                class Machine:
+                    def __init__(self):
+                        self.registry = StatsRegistry()
+                        self.kw = Widget(4, stats=self.registry.create("w"))
+                        self.pos = Widget(4, self.registry.create("w2"))
+            """,
+            # No StatsRegistry in scope: the component may self-default.
+            "src/repro/kernel/other.py": """
+                from ..mem.comp import Widget
+                def helper():
+                    return Widget(4)
+            """,
+        },
+        rule="stats-registered",
+    )
+    assert findings == []
+
+
+# -- config-not-component ------------------------------------------------
+
+
+def test_config_not_component_flags_benchmark_construction(tmp_path):
+    findings, _ = lint_tree(
+        tmp_path,
+        {
+            "src/repro/core/ott.py": """
+                class OpenTunnelTable:
+                    def __init__(self, banks=8):
+                        self.banks = banks
+            """,
+            "benchmarks/bench_x.py": """
+                from repro.core.ott import OpenTunnelTable
+                def run():
+                    return OpenTunnelTable(banks=1)
+            """,
+        },
+        rule="config-not-component",
+    )
+    assert any("constructs component OpenTunnelTable" in f.message for f in findings)
+
+
+def test_config_not_component_allows_configs_and_src_usage(tmp_path):
+    findings, _ = lint_tree(
+        tmp_path,
+        {
+            "src/repro/core/ott.py": """
+                class OpenTunnelTable:
+                    def __init__(self, banks=8):
+                        self.banks = banks
+                class OTTConfig:
+                    pass
+            """,
+            # Value/config types are fine in benchmarks...
+            "benchmarks/bench_x.py": """
+                from repro.core.ott import OTTConfig
+                def run():
+                    return OTTConfig()
+            """,
+            # ...and components are fine outside benchmark paths.
+            "src/repro/sim/mach.py": """
+                from ..core.ott import OpenTunnelTable
+                def build():
+                    return OpenTunnelTable()
+            """,
+        },
+        rule="config-not-component",
+    )
+    assert findings == []
+
+
+# -- suppressions, baseline, CLI round-trip ------------------------------
+
+
+def test_inline_suppression_same_line_and_line_above(tmp_path):
+    findings, suppressed = lint_tree(
+        tmp_path,
+        {
+            "src/repro/sim/x.py": """
+                import time
+                def a():
+                    return time.time()  # repro-lint: disable=no-wallclock-or-unseeded-rng
+                def b():
+                    # repro-lint: disable=all
+                    return time.time()
+                def c():
+                    return time.time()
+            """
+        },
+        rule="no-wallclock-or-unseeded-rng",
+    )
+    assert suppressed == 2
+    assert len(findings) == 1 and findings[0].line == 9
+
+
+def test_unrelated_suppression_does_not_hide(tmp_path):
+    findings, suppressed = lint_tree(
+        tmp_path,
+        {
+            "src/repro/sim/x.py": """
+                import time
+                def a():
+                    return time.time()  # repro-lint: disable=key-hygiene
+            """
+        },
+        rule="no-wallclock-or-unseeded-rng",
+    )
+    assert suppressed == 0 and len(findings) == 1
+
+
+def _write_violation_tree(tmp_path: Path) -> Path:
+    pkg = tmp_path / "src" / "repro" / "sim"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text(
+        "import time\n\ndef now():\n    return time.time()\n", encoding="utf-8"
+    )
+    (tmp_path / "pyproject.toml").write_text(
+        '[tool.repro-lint]\npaths = ["src"]\n', encoding="utf-8"
+    )
+    return tmp_path
+
+
+def test_cli_baseline_round_trip_through_json(tmp_path, capsys):
+    root = _write_violation_tree(tmp_path)
+
+    # 1. The violation fails the run and shows up in the JSON stream.
+    code = lint_main(["--root", str(root), "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert payload["exit_code"] == 1
+    new = [f for f in payload["findings"] if f["status"] == "new"]
+    assert len(new) == 1 and new[0]["rule"] == "no-wallclock-or-unseeded-rng"
+
+    # 2. Accept it into the baseline; the run becomes clean.
+    assert lint_main(["--root", str(root), "--write-baseline"]) == 0
+    capsys.readouterr()
+    code = lint_main(["--root", str(root), "--format", "json", "--strict"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["summary"]["baselined"] == 1 and payload["summary"]["new"] == 0
+
+    # 3. Fix the violation: strict mode now fails on the stale entry...
+    (root / "src" / "repro" / "sim" / "bad.py").write_text(
+        "def now(clock_ns):\n    return clock_ns\n", encoding="utf-8"
+    )
+    code = lint_main(["--root", str(root), "--format", "json", "--strict"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1 and payload["summary"]["stale_baseline"] == 1
+
+    # ...while the non-strict run keeps passing.
+    assert lint_main(["--root", str(root)]) == 0
+
+
+def test_baseline_matching_ignores_line_numbers(tmp_path):
+    findings, _ = lint_tree(
+        tmp_path,
+        {"src/repro/sim/x.py": "import time\n\ndef f():\n    return time.time()\n"},
+        rule="no-wallclock-or-unseeded-rng",
+    )
+    baseline = Baseline.from_findings(findings)
+    shifted, _ = lint_tree(
+        tmp_path,
+        {"src/repro/sim/y.py": "import time\n\n\n\n\ndef f():\n    return time.time()\n"},
+        rule="no-wallclock-or-unseeded-rng",
+    )
+    # Same rule+message, different path: must NOT match the baseline.
+    new, matched, stale = split_findings(shifted, baseline)
+    assert len(new) == 1 and matched == [] and len(stale) == 1
+    # Same path, shifted line: must match.
+    moved = [f for f in findings]
+    relocated = [type(f)(f.rule, f.path, f.line + 40, f.col, f.message) for f in moved]
+    new, matched, stale = split_findings(relocated, baseline)
+    assert new == [] and len(matched) == 1 and stale == []
+
+
+def test_cli_select_ignore_and_errors(tmp_path, capsys):
+    root = _write_violation_tree(tmp_path)
+    assert lint_main(["--root", str(root), "--select", "key-hygiene"]) == 0
+    capsys.readouterr()
+    assert lint_main(["--root", str(root), "--ignore", "no-wallclock-or-unseeded-rng"]) == 0
+    capsys.readouterr()
+    assert lint_main(["--root", str(root), "--select", "no-such-rule"]) == 2
+    assert lint_main(["--root", str(root / "missing-dir"), ]) == 2
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload) == set(RULES)
+
+
+def test_config_table_overrides_defaults(tmp_path):
+    (tmp_path / "pyproject.toml").write_text(
+        textwrap.dedent(
+            """
+            [tool.repro-lint]
+            paths = ["elsewhere"]
+            mask-min-bits = 20
+            """
+        ),
+        encoding="utf-8",
+    )
+    options = load_config(tmp_path)
+    assert options["paths"] == ["elsewhere"]
+    assert options["mask-min-bits"] == 20
+    # Untouched keys keep their defaults.
+    assert options["baseline"] == DEFAULTS["baseline"]
+
+
+def test_config_fallback_parser_matches_subset():
+    from repro.lint.config import _parse_toml_subset
+
+    parsed = _parse_toml_subset(
+        textwrap.dedent(
+            """
+            [project]
+            name = "repro"
+
+            [tool.repro-lint]
+            paths = [
+                "src",
+                "benchmarks",
+            ]
+            mask-min-bits = 14
+            strict = true
+            baseline = ".repro-lint-baseline.json"
+            """
+        )
+    )
+    table = parsed["tool.repro-lint"]
+    assert table["paths"] == ["src", "benchmarks"]
+    assert table["mask-min-bits"] == 14
+    assert table["strict"] is True
+    assert table["baseline"] == ".repro-lint-baseline.json"
