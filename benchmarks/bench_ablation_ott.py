@@ -12,7 +12,6 @@ region probe burst per file re-touch), and the paper-size table makes
 the cost vanish — the claim holds with room to spare.
 """
 
-from repro.core import OpenTunnelTable
 from repro.sim import Machine, MachineConfig, Scheme
 from repro.workloads import ManyFilesWorkload
 
@@ -21,12 +20,10 @@ def run_with_ott(entries: int, num_files: int = 48, rounds: int = 6):
     # Small metadata cache + wide per-file footprints: FECB lines get
     # evicted between rounds, so re-fetching them re-consults the OTT —
     # and the shrunken tables must refill from the encrypted region.
-    config = MachineConfig(scheme=Scheme.FSENCR).with_metadata_cache(4 * 1024)
+    config = MachineConfig(
+        scheme=Scheme.FSENCR, ott_banks=1, ott_entries_per_bank=entries
+    ).with_metadata_cache(4 * 1024)
     machine = Machine(config)
-    # White-box ablation: OTT capacity is not (yet) a MachineConfig knob,
-    # so this deliberately swaps the component in-place.  ROADMAP tracks
-    # promoting it to a config field.
-    machine.controller.ott = OpenTunnelTable(banks=1, entries_per_bank=entries)  # repro-lint: disable=config-not-component
     machine.add_user(uid=1000, gid=100, passphrase="pw")
     workload = ManyFilesWorkload(
         num_files=num_files, rounds=rounds, pages_per_file=8, touches_per_round=4

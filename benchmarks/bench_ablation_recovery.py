@@ -15,23 +15,20 @@ on a large footprint, while its runtime write stream is the larger of
 the two — both papers' headline claims, reproduced side by side.
 """
 
-from repro.secmem import (
-    AnubisRecovery,
-    OsirisRecovery,
-    ShadowTable,
-    check_line,
-    encode_line,
-)
+from repro.secmem import check_line, encode_line
+from repro.sim import MachineConfig
 
 FOOTPRINT_LINES = 2000  # written metadata lines at crash time
 CACHE_LINES = 64  # metadata-cache capacity in lines
 STOP_LOSS = 4
 
+CONFIG = MachineConfig(stop_loss=STOP_LOSS, anubis_shadow_lines=CACHE_LINES)
+
 
 def run_osiris():
     plaintext = bytes(range(64))
     ecc = encode_line(plaintext)
-    recovery = OsirisRecovery(stop_loss=STOP_LOSS)
+    recovery = CONFIG.build_osiris_recovery()
     # Worst case: every line's persisted counter is maximally stale.
     for _ in range(FOOTPRINT_LINES):
         recovery.recover_counter(
@@ -43,7 +40,7 @@ def run_osiris():
 
 
 def run_anubis():
-    shadow = ShadowTable(capacity_lines=CACHE_LINES, base_addr=0x10000000)
+    shadow = CONFIG.build_anubis_shadow()
     resident = []
     for i in range(FOOTPRINT_LINES):
         addr = 0x4000 + i * 64
@@ -52,7 +49,7 @@ def run_anubis():
         shadow.note_insert(addr)
         resident.append(addr)
     runtime_writes = shadow.stats.get("shadow_writes")
-    result = AnubisRecovery().recover(shadow, lambda addr: None)
+    result = CONFIG.build_anubis_recovery().recover(shadow, lambda addr: None)
     return result.recovered_lines, runtime_writes
 
 

@@ -8,9 +8,12 @@
     python -m repro table1          # executable vulnerability matrix
     python -m repro all             # everything, in paper order
     python -m repro quick           # one fast end-to-end sanity pass
+    python -m repro crashsweep      # systematic crash/recovery audit
 
 ``--ops`` / ``--iters`` scale the workloads; ``--json PATH`` saves the
-table data for downstream plotting.
+table data for downstream plotting.  ``crashsweep`` additionally takes
+``--workload/--points/--seed/--drain-fraction/--torn-prob/--bit-flips``
+and exits non-zero iff any crash point produced silent corruption.
 """
 
 from __future__ import annotations
@@ -101,6 +104,69 @@ def _run_all(args) -> None:
         print()
 
 
+def _run_crashsweep(args) -> int:
+    """Crash at sampled persist boundaries, recover, audit every line."""
+    import json
+
+    from .faults.plan import FaultPlan
+    from .faults.sweep import sweep_workload, workload_factory
+    from .sim.config import MachineConfig, Scheme
+
+    scheme = Scheme(args.scheme)
+    plan = FaultPlan(
+        seed=args.seed,
+        drain_fraction=args.drain_fraction,
+        torn_probability=args.torn_prob,
+        bit_flips=args.bit_flips,
+    )
+    result = sweep_workload(
+        workload_factory(args.workload, ops=args.ops or 0, iterations=args.iters or 0),
+        MachineConfig(scheme=scheme),
+        plan=plan,
+        max_points=args.points,
+        seed=args.seed,
+        name=args.workload,
+    )
+    print(result.summary())
+    for point in result.points:
+        print(
+            f"  op {point.op_index:>5}: {point.dispositions} -> {point.outcomes}, "
+            f"{point.trials} trials, {point.recovery_ns / 1000.0:.1f} us recovery"
+        )
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(
+                {
+                    "workload": result.workload,
+                    "scheme": result.scheme,
+                    "seed": result.seed,
+                    "boundaries_total": result.boundaries_total,
+                    "silent_corruptions": result.silent_corruptions,
+                    "outcomes": result.outcome_totals(),
+                    "points": [
+                        {
+                            "op_index": p.op_index,
+                            "plan_seed": p.plan_seed,
+                            "dispositions": p.dispositions,
+                            "outcomes": p.outcomes,
+                            "silent_lines": list(p.silent_lines),
+                            "trials": p.trials,
+                            "recovery_ns": p.recovery_ns,
+                        }
+                        for p in result.points
+                    ],
+                },
+                indent=2,
+            )
+        )
+        print(f"saved: {args.json}")
+    if result.silent_corruptions:
+        print(f"FAIL: {result.silent_corruptions} silent corruption(s)")
+    else:
+        print("OK: every crash point detected or recovered")
+    return result.silent_corruptions
+
+
 _COMMANDS = {
     "fig3": _run_fig3,
     "fig8": _run_fig8,
@@ -115,6 +181,7 @@ _COMMANDS = {
     "report": _run_report,
     "quick": _run_quick,
     "all": _run_all,
+    "crashsweep": _run_crashsweep,
 }
 
 
@@ -127,9 +194,21 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--ops", type=int, default=None, help="workload operation count")
     parser.add_argument("--iters", type=int, default=None, help="micro-benchmark iterations")
     parser.add_argument("--json", type=str, default=None, help="save table data to this path")
+    sweep = parser.add_argument_group("crashsweep")
+    sweep.add_argument("--workload", type=str, default="DAX-3", help="workload to crash-sweep")
+    sweep.add_argument("--points", type=int, default=8, help="max crash points to sample")
+    sweep.add_argument("--seed", type=int, default=0xC0FFEE, help="sweep / fault-plan seed")
+    sweep.add_argument("--scheme", type=str, default="fsencr", help="scheme under test")
+    sweep.add_argument(
+        "--drain-fraction", type=float, default=0.5, help="fraction of the WPQ the ADR drains"
+    )
+    sweep.add_argument(
+        "--torn-prob", type=float, default=0.5, help="torn-write probability per undrained line"
+    )
+    sweep.add_argument("--bit-flips", type=int, default=0, help="media bit flips per crash")
     args = parser.parse_args(argv)
-    _COMMANDS[args.command](args)
-    return 0
+    rc = _COMMANDS[args.command](args)
+    return int(rc or 0)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -27,7 +27,7 @@ sensitivity when it does not.
 from __future__ import annotations
 
 import hashlib
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..crypto.iv import FILE_DOMAIN, CounterIV
 from ..crypto.keys import KeyHierarchy
@@ -78,6 +78,10 @@ class FsEncrController(BaselineSecureController):
         # Hardware would pipeline one AES datapath the same way.
         self._file_engine = OTPEngine(bytes(16)) if self.config.functional else None
         self._locked = False  # admin_login failure locks file decryption
+        # Persisted-FECB journal, the file-layer sibling of the MECB
+        # journal: {page: (group_id, file_id, major, minors)} as a
+        # post-crash reader of the FECB region would see it.
+        self._persisted_fecb: Dict[int, Tuple[int, int, int, Tuple[int, ...]]] = {}
 
     # ==================================================================
     # MMIOTarget — the kernel-facing management verbs (§III-F-1)
@@ -115,6 +119,9 @@ class FsEncrController(BaselineSecureController):
             self.fecb.block(page).invalidate()
             if self.config.functional:
                 self.merkle.update_leaf(self.layout.fecb_addr(page))
+            # Secure delete is only secure if it survives a crash: the
+            # shredded FECB is durable immediately.
+            self._journal_protected_persist(self.layout.fecb_addr(page))
         self.stats.add("keys_revoked")
 
     def update_fecb(self, page: int, group_id: int, file_id: int) -> None:
@@ -132,6 +139,11 @@ class FsEncrController(BaselineSecureController):
         self._handle_metadata_evictions(evictions)
         if self.config.functional:
             self.merkle.update_leaf(fecb_addr)
+        # The stamp rides the kernel's synchronous DAX-fault path, so the
+        # identity binding (and a recycle's counter reset — the Silent-
+        # Shredder property) is durable at fault return; only subsequent
+        # counter bumps ride the Osiris stop-loss window.
+        self._journal_protected_persist(fecb_addr)
         self.stats.add("fecb_stamps")
         if reset:
             self.stats.add("fecb_recycles")
@@ -174,6 +186,29 @@ class FsEncrController(BaselineSecureController):
         self.stats.add("ott_region_writes")
         if self.config.functional:
             self.merkle.update_leaf(addr)
+
+    def _journal_protected_persist(self, addr: int) -> None:
+        """FECB-range persists land in the file-layer journal."""
+        if not self.layout.fecb_base <= addr < self.layout.ott_base:
+            return
+        page = (addr - self.layout.fecb_base) // LINE_SIZE
+        block = self.fecb.peek(page)
+        if block is not None:
+            self._persisted_fecb[page] = (
+                block.group_id,
+                block.file_id,
+                block.counters.major,
+                tuple(block.counters.minors),
+            )
+
+    def _integrity_leaf_addrs(self):
+        """Adds the file layer's leaves: FECBs and occupied OTT slots."""
+        yield from super()._integrity_leaf_addrs()
+        for page in sorted(self.fecb.snapshot()):
+            yield self.layout.fecb_addr(page)
+        for slot in range(self.layout.ott_slots):
+            if self.ott_region.slot_bytes(slot) != bytes(LINE_SIZE):
+                yield self.layout.ott_slot_addr(slot)
 
     def _protected_leaf_bytes(self, addr: int) -> bytes:
         """Merkle leaf content for FECB lines and OTT-region slots."""
@@ -256,16 +291,24 @@ class FsEncrController(BaselineSecureController):
             # PTEs, so this is belt-and-braces).
             return 0.0
         latency = 0.0
+        fecb_addr = self.layout.fecb_addr(page)
         if block.counters.bump(line_index):
             self.stats.add("fecb_minor_overflows")
             latency += self._reencrypt_page(page)
-        fecb_addr = self.layout.fecb_addr(page)
+            # Persist the FECB with the re-encrypted page, mirroring the
+            # MECB overflow rule: the new major must be recoverable.
+            self.device.write(fecb_addr)
+            self.stats.add("overflow_fecb_persists")
+            self.osiris.note_persisted(fecb_addr)
+            self.metadata_cache.clean_line(fecb_addr, MetadataKind.FECB)
+            self._journal_protected_persist(fecb_addr)
         if self.osiris.note_update(fecb_addr):
             # Posted write-through, like the MECB case: bandwidth, not
             # write-path latency.
             self.device.write(fecb_addr)
             self.stats.add("osiris_fecb_persists")
             self.metadata_cache.clean_line(fecb_addr, MetadataKind.FECB)
+            self._journal_protected_persist(fecb_addr)
         self._update_merkle_path(fecb_addr)
         return latency
 
@@ -339,11 +382,17 @@ class FsEncrController(BaselineSecureController):
                     addr = page * 4096 + line_index * LINE_SIZE
                     if addr in self.store:
                         plaintexts[addr] = self.read_data(addr)
+        if self.crash_domain is not None:
+            # Eager re-keying rewrites every stamped line synchronously;
+            # like page re-encryption, model it as draining the ADR
+            # domain so staged pre-rekey pairs do not go stale.
+            self.crash_domain.drain_all()
         self.install_file_key(group_id, file_id, new_key)
         for page in pages:
             self.fecb.block(page).counters.reset()
             if self.config.functional:
                 self.merkle.update_leaf(self.layout.fecb_addr(page))
+            self._journal_protected_persist(self.layout.fecb_addr(page))
         if self.config.functional:
             for addr, plaintext in plaintexts.items():
                 self.store.write_line(addr, self._seal(addr, plaintext))
@@ -377,9 +426,9 @@ class FsEncrController(BaselineSecureController):
         skipped (and counted) rather than trusted.
         """
         recovered = 0
-        self.ott = OpenTunnelTable(
-            lookup_latency_ns=self.ott.lookup_latency_ns, stats=self.ott.stats
-        )
+        # The table object survives (its geometry and stats are hardware
+        # properties); only the volatile SRAM contents are rebuilt.
+        self.ott.reset()
         for slot in range(self.layout.ott_slots):
             raw = self.ott_region.slot_bytes(slot)
             if raw == bytes(LINE_SIZE):

@@ -124,6 +124,14 @@ class OpenTunnelTable:
         """Snapshot (crash-flush support: §III-H backup-power drain)."""
         return list(self._entries.values())
 
+    def reset(self) -> None:
+        """Power loss: the on-chip table is volatile and comes up empty.
+
+        Capacity and stats survive — they belong to the hardware and its
+        observer, not to the lost SRAM contents.
+        """
+        self._entries.clear()
+
     def __len__(self) -> int:
         return len(self._entries)
 

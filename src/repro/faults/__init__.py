@@ -1,0 +1,47 @@
+"""Deterministic crash/fault injection for the simulated machine.
+
+The package splits along the crash timeline:
+
+* :mod:`~repro.faults.plan` — *what goes wrong*: a seeded, frozen
+  :class:`FaultPlan` (ADR drain fraction, torn-write probability, media
+  bit flips).
+* :mod:`~repro.faults.domain` — *what is at risk*: the
+  :class:`CrashDomain` FIFO of in-flight functional line writes the
+  secure controller stages on every write.
+* :mod:`~repro.faults.lifecycle` — *the event*: ``crash_machine`` /
+  ``reboot_machine`` behind ``Machine.crash()`` / ``Machine.reboot()``,
+  with structured :class:`CrashReport` / :class:`RecoveryReport`.
+* :mod:`repro.faults.sweep` — *the quantifier*: the systematic
+  crash-point sweep.  Imported explicitly (``from repro.faults import
+  sweep``) rather than re-exported here, because it depends on
+  :mod:`repro.sim` while ``repro.sim.machine`` imports this package —
+  re-exporting it would close an import cycle.
+"""
+
+from .domain import CrashDomain, LineWrite
+from .lifecycle import (
+    DISPOSITION_DRAINED,
+    DISPOSITION_DROPPED,
+    DISPOSITION_TORN,
+    CrashReport,
+    LineFate,
+    RecoveryReport,
+    crash_machine,
+    reboot_machine,
+)
+from .plan import TEAR_BYTES, FaultPlan
+
+__all__ = [
+    "TEAR_BYTES",
+    "FaultPlan",
+    "CrashDomain",
+    "LineWrite",
+    "DISPOSITION_DRAINED",
+    "DISPOSITION_DROPPED",
+    "DISPOSITION_TORN",
+    "LineFate",
+    "CrashReport",
+    "RecoveryReport",
+    "crash_machine",
+    "reboot_machine",
+]

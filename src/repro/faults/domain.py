@@ -1,0 +1,114 @@
+"""The crash domain: which functional writes are still in flight.
+
+The timing model already has a WPQ (``repro.mem.wpq``) that tracks *how
+many* entries are queued; fault injection additionally needs to know
+*which lines* those entries are and what the NVM held before them, so a
+crash can tear or roll back exactly the undrained tail.  The
+:class:`CrashDomain` is that functional twin: a FIFO of
+:class:`LineWrite` records, bounded to the WPQ depth.  A write pushed
+out of the FIFO has, by construction, reached the array — the queue
+drains oldest-first — and is no longer at risk.
+
+The secure controller stages every functional line write here (see
+``BaselineSecureController._write``); ``Machine.crash`` consumes the
+FIFO through ``repro.faults.lifecycle``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["LineWrite", "CrashDomain"]
+
+
+@dataclass(frozen=True)
+class LineWrite:
+    """One staged line write: before/after images of cipher, ECC, plain.
+
+    ``old_ecc``/``old_plain`` are ``None`` for a line's first-ever
+    write (there is nothing to roll back to but erased bytes).
+    """
+
+    addr: int
+    old_cipher: bytes
+    old_ecc: Optional[bytes]
+    old_plain: Optional[bytes]
+    new_cipher: bytes
+    new_ecc: bytes
+    new_plain: bytes
+
+
+class CrashDomain:
+    """FIFO of in-flight functional writes, bounded like the WPQ.
+
+    Re-writing an address already in flight coalesces (write combining
+    in the queue): the oldest pre-image is kept, the newest post-image
+    wins, and the entry moves to the queue tail.
+    """
+
+    def __init__(self, depth: int = 16) -> None:
+        if depth < 1:
+            raise ValueError("crash domain depth must be >= 1")
+        self.depth = depth
+        self._inflight: "OrderedDict[int, LineWrite]" = OrderedDict()
+        # Writes that left the domain by reaching the array (FIFO
+        # overflow or an explicit drain) — they survive any crash.
+        self.drained_writes = 0
+
+    def record(
+        self,
+        addr: int,
+        *,
+        old_cipher: bytes,
+        old_ecc: Optional[bytes],
+        old_plain: Optional[bytes],
+        new_cipher: bytes,
+        new_ecc: bytes,
+        new_plain: bytes,
+    ) -> None:
+        existing = self._inflight.pop(addr, None)
+        if existing is not None:
+            entry = LineWrite(
+                addr=addr,
+                old_cipher=existing.old_cipher,
+                old_ecc=existing.old_ecc,
+                old_plain=existing.old_plain,
+                new_cipher=new_cipher,
+                new_ecc=new_ecc,
+                new_plain=new_plain,
+            )
+        else:
+            entry = LineWrite(
+                addr=addr,
+                old_cipher=old_cipher,
+                old_ecc=old_ecc,
+                old_plain=old_plain,
+                new_cipher=new_cipher,
+                new_ecc=new_ecc,
+                new_plain=new_plain,
+            )
+        self._inflight[addr] = entry
+        while len(self._inflight) > self.depth:
+            self._inflight.popitem(last=False)
+            self.drained_writes += 1
+
+    def drain_all(self) -> int:
+        """Everything in flight reaches the array (fence, sync op)."""
+        drained = len(self._inflight)
+        self.drained_writes += drained
+        self._inflight.clear()
+        return drained
+
+    def clear(self) -> None:
+        """Forget the in-flight set *without* draining (crash resolved
+        each entry's fate already; nothing reached the array here)."""
+        self._inflight.clear()
+
+    def inflight(self) -> List[LineWrite]:
+        """Oldest-first snapshot of the at-risk tail."""
+        return list(self._inflight.values())
+
+    def __len__(self) -> int:
+        return len(self._inflight)

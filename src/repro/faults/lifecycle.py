@@ -1,0 +1,452 @@
+"""Machine-level crash, reboot, and recovery.
+
+``crash_machine`` is the power-fail instant: every volatile structure
+(CPU caches, TLBs, the on-chip metadata cache, the OTT SRAM, the DRAM
+page cache, the plaintext shadow) loses its contents, and the in-flight
+write tail staged in the :class:`~repro.faults.domain.CrashDomain` is
+resolved entry by entry according to the :class:`FaultPlan` — drained
+into the array, cleanly dropped (the NVM keeps the pre-write line), or
+torn (old and new interleaved per 8-byte device word).  Optional media
+bit flips land afterwards.
+
+``reboot_machine`` then runs the *real* recovery paths the paper
+describes instead of restoring a golden snapshot:
+
+1. the on-chip OTT is rebuilt from the encrypted spill region
+   (write-through logging, §III-H option 1);
+2. every line carrying plaintext ECC is trial-decrypted from the
+   *persisted* counter values upward (Osiris §II-D) — one-dimensional
+   over the MECB minor for plain-memory pages, two-dimensional over
+   (MECB minor, FECB minor) for file-stamped pages, since both layers'
+   counters ride the same stop-loss window;
+3. the recovered counters are installed and the Bonsai Merkle tree is
+   rebuilt over them, so subsequent reads verify the recovered state.
+
+The invariant the sweep (``repro.faults.sweep``) checks is decided
+here: a line either recovers to a consistent version or its failure is
+*explicit* (ECC exhaustion, tag failure, integrity error) — never a
+silent wrong answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.ott import KeyUnavailableError
+from ..crypto.iv import FILE_DOMAIN, MEMORY_DOMAIN, CounterIV
+from ..crypto.otp import xor_bytes
+from ..mem.address import LINE_SIZE, LINES_PER_PAGE, page_number, page_offset_lines
+from ..secmem.counters import MINOR_BITS
+from ..secmem.ecc import check_line
+from ..secmem.osiris import CounterRecoveryError
+from .domain import LineWrite
+from .plan import TEAR_BYTES, FaultPlan
+
+__all__ = [
+    "DISPOSITION_DRAINED",
+    "DISPOSITION_DROPPED",
+    "DISPOSITION_TORN",
+    "LineFate",
+    "CrashReport",
+    "RecoveryReport",
+    "crash_machine",
+    "reboot_machine",
+]
+
+DISPOSITION_DRAINED = "drained"
+DISPOSITION_DROPPED = "dropped"
+DISPOSITION_TORN = "torn"
+
+_MINOR_LIMIT = 1 << MINOR_BITS
+_WORDS_PER_LINE = LINE_SIZE // TEAR_BYTES
+
+
+@dataclass(frozen=True)
+class LineFate:
+    """What the crash did to one in-flight line write."""
+
+    addr: int
+    disposition: str  # drained | dropped | torn
+    old_plain: Optional[bytes]
+    new_plain: bytes
+
+
+@dataclass(frozen=True)
+class CrashReport:
+    """Everything the crash injected, for the sweep's oracle."""
+
+    plan: FaultPlan
+    inflight: int
+    drained: int
+    dropped: int
+    torn: int
+    bit_flips: Tuple[Tuple[int, int], ...]  # (addr, bit)
+    wpq_entries_lost: int
+    line_fates: Dict[int, LineFate]
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What reboot-time recovery did and what it cost."""
+
+    scheme: str
+    functional: bool
+    trials: int
+    lines_checked: int
+    lines_recovered: int
+    failed_lines: Tuple[int, ...]
+    pages_restored: int
+    ott_keys_recovered: int
+    merkle_leaves_rebuilt: int
+    recovery_ns: float
+
+
+# ======================================================================
+# Crash
+# ======================================================================
+
+
+def _tear_line(store, write: LineWrite, rng) -> None:
+    """Interleave old/new per 8-byte device word (data + its ECC byte).
+
+    Each 72-bit device word (64 data bits + the plaintext-ECC byte)
+    commits atomically, so a torn line is a word-granular mix of two
+    versions sealed under *different* counters — no single trial counter
+    decrypts every word, which is exactly why ECC flags it.
+    """
+    old_ecc = write.old_ecc if write.old_ecc is not None else bytes(_WORDS_PER_LINE)
+    mixed_cipher = bytearray()
+    mixed_ecc = bytearray()
+    for word in range(_WORDS_PER_LINE):
+        lo, hi = word * TEAR_BYTES, (word + 1) * TEAR_BYTES
+        if rng.random() < 0.5:
+            mixed_cipher += write.new_cipher[lo:hi]
+            mixed_ecc.append(write.new_ecc[word])
+        else:
+            mixed_cipher += write.old_cipher[lo:hi]
+            mixed_ecc.append(old_ecc[word])
+    store.write_line(write.addr, bytes(mixed_cipher))
+    store.write_ecc(write.addr, bytes(mixed_ecc))
+
+
+def _drop_volatile_state(machine) -> None:
+    """Power loss: everything DRAM/SRAM-resident vanishes."""
+    machine.hierarchy.drain_dirty()  # discard — no write-back after power loss
+    for context in machine._processes.values():
+        context.mmu.tlb.flush()
+    controller = machine.controller
+    cache = getattr(controller, "metadata_cache", None)
+    if cache is not None:
+        cache.flush_all()  # discard the victims: dirty metadata is lost
+    shadow = getattr(controller, "_plaintext_shadow", None)
+    if shadow is not None:
+        shadow.clear()
+    ott = getattr(controller, "ott", None)
+    if ott is not None:
+        ott.reset()
+    if machine.overlay is not None:
+        machine.overlay.page_cache.drop_all()
+
+
+def crash_machine(machine, plan: FaultPlan) -> CrashReport:
+    """Apply ``plan`` to ``machine`` at the current instant."""
+    rng = plan.rng()
+    controller = machine.controller
+    store = getattr(controller, "store", None)
+    domain = getattr(controller, "crash_domain", None)
+
+    fates: Dict[int, LineFate] = {}
+    drained = dropped = torn = 0
+    entries = domain.inflight() if domain is not None else []
+    # The queue drains oldest-first; the ADR energy budget decides how
+    # deep into the tail the drain gets before the rest is at risk.
+    drain_upto = int(len(entries) * plan.drain_fraction)
+    for position, write in enumerate(entries):
+        if position < drain_upto:
+            drained += 1
+            disposition = DISPOSITION_DRAINED
+        elif rng.random() < plan.torn_probability:
+            torn += 1
+            disposition = DISPOSITION_TORN
+            _tear_line(store, write, rng)
+        else:
+            dropped += 1
+            disposition = DISPOSITION_DROPPED
+            store.write_line(write.addr, write.old_cipher)
+            store.write_ecc(write.addr, write.old_ecc)
+        fates[write.addr] = LineFate(
+            addr=write.addr,
+            disposition=disposition,
+            old_plain=write.old_plain,
+            new_plain=write.new_plain,
+        )
+    if domain is not None:
+        domain.clear()
+
+    flips: List[Tuple[int, int]] = []
+    if plan.bit_flips and store is not None:
+        lines = sorted(store.scan())
+        if lines:
+            for _ in range(plan.bit_flips):
+                addr = lines[rng.randrange(len(lines))]
+                bit = rng.randrange(LINE_SIZE * 8)
+                store.flip_bit(addr, bit)
+                flips.append((addr, bit))
+
+    wpq_lost = 0
+    if machine.wpq is not None:
+        _, wpq_lost = machine.wpq.crash_drain(machine.clock_ns, plan.drain_fraction)
+
+    _drop_volatile_state(machine)
+    return CrashReport(
+        plan=plan,
+        inflight=len(entries),
+        drained=drained,
+        dropped=dropped,
+        torn=torn,
+        bit_flips=tuple(flips),
+        wpq_entries_lost=wpq_lost,
+        line_fates=fates,
+    )
+
+
+# ======================================================================
+# Reboot / recovery
+# ======================================================================
+
+
+def _memory_trial(controller, cipher: bytes, page: int, line_index: int, major: int, minor: int) -> bytes:
+    iv = CounterIV(
+        domain=MEMORY_DOMAIN,
+        page_id=page,
+        page_offset=line_index,
+        major=major % (1 << 64),
+        minor=minor,
+    )
+    return xor_bytes(cipher, controller._memory_engine.pad_for(iv))
+
+
+def _stamped_trial(
+    controller,
+    key: bytes,
+    cipher: bytes,
+    page: int,
+    line_index: int,
+    mem_major: int,
+    mem_minor: int,
+    file_major: int,
+    file_minor: int,
+) -> bytes:
+    mem_iv = CounterIV(
+        domain=MEMORY_DOMAIN,
+        page_id=page,
+        page_offset=line_index,
+        major=mem_major % (1 << 64),
+        minor=mem_minor,
+    )
+    file_iv = CounterIV(
+        domain=FILE_DOMAIN,
+        page_id=page,
+        page_offset=line_index,
+        major=file_major,
+        minor=file_minor,
+    )
+    pad = controller._memory_engine.pad_for(mem_iv)
+    controller._file_engine.rekey(key)
+    pad = xor_bytes(pad, controller._file_engine.pad_for(file_iv))
+    return xor_bytes(cipher, pad)
+
+
+def _recover_stamped_line(
+    controller,
+    key: bytes,
+    cipher: bytes,
+    ecc: bytes,
+    page: int,
+    line_index: int,
+    mem_major: int,
+    mem_minor: int,
+    file_major: int,
+    file_minor: int,
+    stop_loss: int,
+) -> Tuple[Optional[Tuple[int, int, bytes]], int]:
+    """2-D Osiris search over (MECB minor, FECB minor) lags.
+
+    Candidates are ordered by total lag — both counters bump together on
+    the write path, so the true pair is minimally ahead of the persisted
+    pair — and each layer's lag is independently bounded by its own
+    stop-loss window.
+    """
+    trials = 0
+    for total in range(2 * stop_loss + 1):
+        for mem_off in range(max(0, total - stop_loss), min(stop_loss, total) + 1):
+            file_off = total - mem_off
+            cand_mem = mem_minor + mem_off
+            cand_file = file_minor + file_off
+            if cand_mem >= _MINOR_LIMIT or cand_file >= _MINOR_LIMIT:
+                continue
+            trials += 1
+            plaintext = _stamped_trial(
+                controller, key, cipher, page, line_index,
+                mem_major, cand_mem, file_major, cand_file,
+            )
+            if check_line(plaintext, ecc):
+                return (cand_mem, cand_file, plaintext), trials
+    return None, trials
+
+
+def reboot_machine(machine) -> RecoveryReport:
+    """Bring the crashed machine back up through the real recovery paths."""
+    controller = machine.controller
+    scheme = machine.config.scheme.value
+    functional = machine.config.functional
+    recovery_ns = 0.0
+    trials_total = 0
+    lines_checked = 0
+    lines_recovered = 0
+    failed: List[int] = []
+    ott_recovered = 0
+    leaves = 0
+    pages_restored = 0
+
+    if not hasattr(controller, "mecb"):
+        # Conventional-path machine: nothing encrypted to recover; the
+        # caches simply come up cold.
+        return RecoveryReport(
+            scheme=scheme, functional=functional, trials=0, lines_checked=0,
+            lines_recovered=0, failed_lines=(), pages_restored=0,
+            ott_keys_recovered=0, merkle_leaves_rebuilt=0, recovery_ns=0.0,
+        )
+
+    cconf = controller.config
+    journal_mecb = dict(getattr(controller, "_persisted_mecb", {}))
+    journal_fecb = dict(getattr(controller, "_persisted_fecb", {}))
+
+    # -- 1. OTT: scan the encrypted spill region (one read per slot) ----
+    if hasattr(controller, "recover_ott_after_crash"):
+        ott_recovered = controller.recover_ott_after_crash()
+        for slot in range(controller.layout.ott_slots):
+            recovery_ns += controller.device.read(controller.layout.ott_slot_addr(slot))
+
+    # -- 2. counter recovery via ECC trial decryption -------------------
+    final_mecb: Dict[int, Tuple[int, List[int]]] = {
+        page: (major, list(minors)) for page, (major, minors) in journal_mecb.items()
+    }
+    final_fecb: Dict[int, Tuple[int, int, int, List[int]]] = {
+        page: (gid, fid, major, list(minors))
+        for page, (gid, fid, major, minors) in journal_fecb.items()
+    }
+    new_shadow: Dict[int, bytes] = {}
+
+    if functional:
+        osiris_recovery = machine.config.build_osiris_recovery()
+        ecc_map = controller.store.scan_ecc()
+        by_page: Dict[int, List[int]] = {}
+        for addr in sorted(ecc_map):
+            by_page.setdefault(page_number(addr), []).append(addr)
+
+        trial_cost_ns = cconf.aes_latency_ns + cconf.xor_latency_ns
+        for page, addrs in sorted(by_page.items()):
+            mem_major, mem_minors = final_mecb.setdefault(page, (0, [0] * LINES_PER_PAGE))
+            fecb_entry = final_fecb.get(page)
+            stamped = fecb_entry is not None and (fecb_entry[0] != 0 or fecb_entry[1] != 0)
+            key: Optional[bytes] = None
+            if stamped:
+                try:
+                    key, _ = controller._lookup_key(fecb_entry[0], fecb_entry[1])
+                except KeyUnavailableError:
+                    key = None  # key never logged: every page line is unrecoverable
+            for addr in addrs:
+                lines_checked += 1
+                recovery_ns += controller.device.read(addr)
+                line_index = page_offset_lines(addr)
+                cipher = controller.store.read_line(addr)
+                ecc = ecc_map[addr]
+                if stamped:
+                    if key is None:
+                        failed.append(addr)
+                        continue
+                    found, trials = _recover_stamped_line(
+                        controller, key, cipher, ecc, page, line_index,
+                        mem_major, mem_minors[line_index],
+                        fecb_entry[2], fecb_entry[3][line_index],
+                        cconf.stop_loss,
+                    )
+                    trials_total += trials
+                    recovery_ns += trials * trial_cost_ns
+                    if found is None:
+                        failed.append(addr)
+                        continue
+                    mem_minors[line_index], fecb_entry[3][line_index] = found[0], found[1]
+                    new_shadow[addr] = found[2]
+                    lines_recovered += 1
+                else:
+                    def decrypt(candidate: int) -> Optional[bytes]:
+                        if candidate >= _MINOR_LIMIT:
+                            return None  # out of IV range: cannot be the true counter
+                        return _memory_trial(
+                            controller, cipher, page, line_index, mem_major, candidate
+                        )
+
+                    try:
+                        result = osiris_recovery.recover_counter(
+                            mem_minors[line_index],
+                            decrypt,
+                            lambda pt: pt is not None and check_line(pt, ecc),
+                        )
+                    except CounterRecoveryError:
+                        trials_total += cconf.stop_loss + 1
+                        recovery_ns += (cconf.stop_loss + 1) * trial_cost_ns
+                        failed.append(addr)
+                        continue
+                    trials_total += result.trials
+                    recovery_ns += result.trials * trial_cost_ns
+                    mem_minors[line_index] = result.recovered_value
+                    new_shadow[addr] = _memory_trial(
+                        controller, cipher, page, line_index,
+                        mem_major, result.recovered_value,
+                    )
+                    lines_recovered += 1
+
+    # -- 3. install the recovered state ---------------------------------
+    controller.mecb.restore(
+        {page: (major, tuple(minors)) for page, (major, minors) in final_mecb.items()}
+    )
+    controller._persisted_mecb = {
+        page: (major, tuple(minors)) for page, (major, minors) in final_mecb.items()
+    }
+    pages_restored = len(final_mecb)
+    if hasattr(controller, "fecb"):
+        controller.fecb.restore(
+            {
+                page: (gid, fid, major, tuple(minors))
+                for page, (gid, fid, major, minors) in final_fecb.items()
+            }
+        )
+        controller._persisted_fecb = {
+            page: (gid, fid, major, tuple(minors))
+            for page, (gid, fid, major, minors) in final_fecb.items()
+        }
+        pages_restored += len(final_fecb)
+    controller._plaintext_shadow.update(new_shadow)
+    controller.osiris.reset()
+
+    # -- 4. rebuild the integrity tree over the recovered metadata ------
+    for addr in controller._integrity_leaf_addrs():
+        recovery_ns += controller.device.read(addr)
+    leaves = controller.rebuild_integrity_tree()
+
+    machine.clock_ns += recovery_ns
+    return RecoveryReport(
+        scheme=scheme,
+        functional=functional,
+        trials=trials_total,
+        lines_checked=lines_checked,
+        lines_recovered=lines_recovered,
+        failed_lines=tuple(sorted(failed)),
+        pages_restored=pages_restored,
+        ott_keys_recovered=ott_recovered,
+        merkle_leaves_rebuilt=leaves,
+        recovery_ns=recovery_ns,
+    )

@@ -1,0 +1,61 @@
+"""Fault plans: the seeded description of *how* a crash misbehaves.
+
+A crash is not one event but a distribution of hardware outcomes — how
+much of the ADR/WPQ domain drains before the capacitors give out,
+whether the interrupted line lands torn, which PCM cells flip.  The
+paper's crash-consistency arguments (Osiris stop-loss §II-D, OTT
+write-through logging §III-H) are claims about *every* point in that
+distribution, so the injector samples it from a seeded
+:class:`random.Random` and nothing else: the same plan always produces
+the same crash, byte for byte.
+
+``derive(index)`` gives each crash point of a sweep its own independent
+stream while keeping the whole sweep a pure function of one seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+__all__ = ["TEAR_BYTES", "FaultPlan"]
+
+# Torn-write granularity.  NVDIMM media writes 8-byte (64-bit data +
+# ECC) device words atomically; a torn 64-byte line is therefore a
+# per-word interleaving of old and new content, never a bit-level blend.
+TEAR_BYTES = 8
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One crash's worth of injected misbehaviour.
+
+    * ``drain_fraction`` — how much of the in-flight write tail the
+      ADR domain manages to drain (1.0 = healthy ADR, every accepted
+      write persists; 0.0 = total supply collapse, nothing drains).
+    * ``torn_probability`` — chance that each *undrained* write lands
+      torn (old/new mixed per device word) instead of cleanly dropped.
+    * ``bit_flips`` — media faults: ciphertext bits flipped in stored
+      lines after the dust settles (failing PCM cells, §VI endurance).
+    """
+
+    seed: int = 0xFA01
+    drain_fraction: float = 1.0
+    torn_probability: float = 0.5
+    bit_flips: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drain_fraction <= 1.0:
+            raise ValueError(f"drain_fraction {self.drain_fraction} not in [0, 1]")
+        if not 0.0 <= self.torn_probability <= 1.0:
+            raise ValueError(f"torn_probability {self.torn_probability} not in [0, 1]")
+        if self.bit_flips < 0:
+            raise ValueError("bit_flips must be >= 0")
+
+    def rng(self) -> random.Random:
+        """The plan's private, reproducible randomness stream."""
+        return random.Random(self.seed)
+
+    def derive(self, index: int) -> "FaultPlan":
+        """An independent sub-plan for crash point ``index`` of a sweep."""
+        return replace(self, seed=(self.seed * 1000003 + index) & 0xFFFFFFFF)

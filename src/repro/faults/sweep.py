@@ -1,0 +1,314 @@
+"""Systematic crash-point sweep over a workload's persist boundaries.
+
+The crash-consistency claims of the paper (Osiris stop-loss recovery,
+OTT write-through logging §III-H, the FECB stamp's durability) are
+universally quantified: *wherever* power fails, the machine comes back
+to a state that is either consistent or *explicitly* detected as
+damaged.  One hand-picked crash test cannot check a universal claim;
+this module enumerates the claim's domain instead:
+
+1. record a workload run through :class:`~repro.sim.trace.TraceRecorder`
+   and collect every persist boundary (each ``persist`` is a point where
+   an application believes data durable — the interesting instants);
+2. for each sampled boundary, replay the op prefix onto a fresh
+   functional machine — stores carry deterministic, address-salted
+   payloads so every line has a known expected value — and crash it
+   there under a :class:`~repro.faults.plan.FaultPlan` derived from the
+   sweep seed and the boundary index;
+3. reboot through the real recovery paths, then audit every line the
+   CPU ever wrote against the recovery's answer.
+
+Each line lands in exactly one outcome bucket:
+
+* ``recovered_new``  — decrypts to the last value the CPU wrote;
+* ``recovered_old``  — decrypts to the pre-crash-write value (a clean
+  ADR drop: the write never happened, which is consistent);
+* ``detected``       — recovery explicitly failed the line (ECC
+  exhaustion, missing ECC, integrity or key error);
+* ``silent``         — recovery *accepted* the line but produced bytes
+  that are neither the old nor the new version.  **This bucket must be
+  empty**; ``SweepResult.assert_invariant`` enforces it.
+
+Everything is a pure function of (workload, config, plan, seed): two
+runs of the same sweep produce identical results, so a failure is a
+repro, not an anecdote.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.ott import KeyUnavailableError
+from ..mem.address import LINE_SIZE
+from ..secmem.ecc import check_line
+from ..secmem.merkle import IntegrityError
+from ..secmem.osiris import CounterRecoveryError
+from ..sim import trace as trace_mod
+from ..sim.config import MachineConfig, Scheme
+from ..sim.machine import Machine
+from ..sim.trace import TraceRecorder
+from .lifecycle import CrashReport, RecoveryReport
+from .plan import FaultPlan
+
+__all__ = [
+    "OUTCOME_RECOVERED_NEW",
+    "OUTCOME_RECOVERED_OLD",
+    "OUTCOME_DETECTED",
+    "OUTCOME_SILENT",
+    "CrashPointResult",
+    "SweepResult",
+    "workload_factory",
+    "sweep_workload",
+]
+
+OUTCOME_RECOVERED_NEW = "recovered_new"
+OUTCOME_RECOVERED_OLD = "recovered_old"
+OUTCOME_DETECTED = "detected"
+OUTCOME_SILENT = "silent"
+
+_ERASED = bytes(LINE_SIZE)
+
+
+@dataclass(frozen=True)
+class CrashPointResult:
+    """Outcome of crashing at one persist boundary."""
+
+    op_index: int
+    plan_seed: int
+    dispositions: Dict[str, int]
+    outcomes: Dict[str, int]
+    silent_lines: Tuple[int, ...]
+    trials: int
+    recovery_ns: float
+    recovered_keys: int
+
+
+@dataclass
+class SweepResult:
+    """All crash points of one sweep plus the identity that produced it."""
+
+    workload: str
+    scheme: str
+    seed: int
+    boundaries_total: int
+    points: List[CrashPointResult] = field(default_factory=list)
+
+    @property
+    def silent_corruptions(self) -> int:
+        return sum(len(point.silent_lines) for point in self.points)
+
+    def outcome_totals(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for point in self.points:
+            for outcome, count in point.outcomes.items():
+                totals[outcome] = totals.get(outcome, 0) + count
+        return totals
+
+    def summary(self) -> str:
+        totals = self.outcome_totals()
+        parts = ", ".join(f"{name}={totals.get(name, 0)}" for name in (
+            OUTCOME_RECOVERED_NEW, OUTCOME_RECOVERED_OLD,
+            OUTCOME_DETECTED, OUTCOME_SILENT,
+        ))
+        return (
+            f"{self.workload} [{self.scheme}] seed={self.seed:#x}: "
+            f"{len(self.points)}/{self.boundaries_total} crash points, {parts}"
+        )
+
+    def assert_invariant(self) -> None:
+        """Every injected fault was detected or recovered — never silent."""
+        if self.silent_corruptions:
+            lines = [hex(addr) for point in self.points for addr in point.silent_lines]
+            raise AssertionError(
+                f"silent corruption at {len(lines)} line(s): {', '.join(lines)}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Workload resolution and deterministic payloads
+# ----------------------------------------------------------------------
+
+
+def workload_factory(name: str, ops: int = 0, iterations: int = 0) -> Callable[[], object]:
+    """A zero-argument factory for a fresh workload instance by name.
+
+    ``DAX-*`` names resolve to the microbenchmarks, everything else to
+    the PMEMKV patterns — the same naming the CLI's other commands use.
+    """
+    from ..workloads import make_dax_micro, make_pmemkv_workload
+
+    if name.upper().startswith("DAX"):
+        if iterations:
+            return lambda: make_dax_micro(name, iterations=iterations)
+        return lambda: make_dax_micro(name)
+    if ops:
+        return lambda: make_pmemkv_workload(name, ops=ops)
+    return lambda: make_pmemkv_workload(name)
+
+
+def _pattern(seed: int, op_index: int, vaddr: int, size: int) -> bytes:
+    """Deterministic payload for one store: salted by op and address so
+    no two writes collide and a stale line can never masquerade as a
+    fresh one."""
+    out = bytearray()
+    counter = 0
+    while len(out) < size:
+        out += hashlib.sha256(
+            f"{seed}:{op_index}:{vaddr}:{counter}".encode()
+        ).digest()
+        counter += 1
+    return bytes(out[:size])
+
+
+def _replay_prefix(machine: Machine, workload, ops: List, upto: int, seed: int) -> None:
+    """Re-execute ``ops[0 .. upto]`` with data-carrying stores.
+
+    The timing trace records addresses, not payloads; the replay supplies
+    the deterministic pattern through the functional path *and* issues
+    the original timing op, so the crash domain and WPQ see the same
+    traffic shape the recording did.
+    """
+    workload.setup(machine)
+    last_handle = None
+    for index in range(upto + 1):
+        op = ops[index]
+        if op.op == trace_mod.CREATE:
+            last_handle = machine.create_file(
+                op.path, uid=op.addr, mode=op.size, encrypted=op.flag
+            )
+        elif op.op == trace_mod.OPEN:
+            last_handle = machine.open_file(op.path, uid=op.addr, write=op.flag)
+        elif op.op == trace_mod.MMAP:
+            if last_handle is None:
+                raise ValueError("trace mmap with no preceding create/open")
+            machine.mmap(last_handle, pages=op.size, file_page_start=op.addr)
+        elif op.op == trace_mod.LOAD:
+            machine.load(op.addr, op.size)
+        elif op.op == trace_mod.STORE:
+            machine.store_bytes(op.addr, _pattern(seed, index, op.addr, op.size))
+            machine.store(op.addr, op.size)
+        elif op.op == trace_mod.PERSIST:
+            machine.store_bytes(op.addr, _pattern(seed, index, op.addr, op.size))
+            machine.persist(op.addr, op.size)
+        elif op.op == trace_mod.COMPUTE:
+            machine.compute(float(op.size))
+        elif op.op == trace_mod.MARK:
+            machine.mark_measurement_start()
+        else:
+            raise ValueError(f"unknown trace op {op.op!r}")
+
+
+# ----------------------------------------------------------------------
+# Verification oracle
+# ----------------------------------------------------------------------
+
+
+def _verify_line(
+    machine: Machine,
+    addr: int,
+    expected_new: bytes,
+    crash_report: CrashReport,
+    recovery_report: RecoveryReport,
+) -> str:
+    """Classify one line's post-recovery content."""
+    controller = machine.controller
+    if addr in recovery_report.failed_lines:
+        return OUTCOME_DETECTED
+    try:
+        plaintext = controller.read_data(addr)
+    except (IntegrityError, KeyUnavailableError, CounterRecoveryError):
+        return OUTCOME_DETECTED
+    ecc = controller.store.read_ecc(addr)
+    if ecc is None or not check_line(plaintext, ecc):
+        return OUTCOME_DETECTED
+    if plaintext == expected_new:
+        return OUTCOME_RECOVERED_NEW
+    fate = crash_report.line_fates.get(addr)
+    old_plain = fate.old_plain if fate is not None else None
+    if plaintext == (old_plain if old_plain is not None else _ERASED):
+        return OUTCOME_RECOVERED_OLD
+    return OUTCOME_SILENT
+
+
+# ----------------------------------------------------------------------
+# The sweep
+# ----------------------------------------------------------------------
+
+
+def sweep_workload(
+    factory: Callable[[], object],
+    config: Optional[MachineConfig] = None,
+    *,
+    plan: Optional[FaultPlan] = None,
+    max_points: int = 8,
+    seed: int = 0xC0FFEE,
+    name: str = "",
+) -> SweepResult:
+    """Crash-sweep one workload; returns the per-point audit.
+
+    ``config.functional`` is forced on — the sweep's oracle needs real
+    ciphertext to audit.  ``max_points`` bounds the replay cost by
+    even-spaced sampling of the persist boundaries.
+    """
+    base_config = config or MachineConfig(scheme=Scheme.FSENCR)
+    run_config = base_config._replace(functional=True)
+    plan = plan or FaultPlan()
+
+    workload = factory()
+    recorder = TraceRecorder(Machine(run_config), name=name or getattr(workload, "name", "sweep"))
+    workload.setup(recorder)
+    workload.run(recorder)
+    ops = recorder.trace.ops
+    boundaries = [i for i, op in enumerate(ops) if op.op == trace_mod.PERSIST]
+
+    result = SweepResult(
+        workload=recorder.trace.name,
+        scheme=run_config.scheme.value,
+        seed=seed,
+        boundaries_total=len(boundaries),
+    )
+    if not boundaries:
+        return result
+
+    if len(boundaries) <= max_points:
+        sampled = list(boundaries)
+    else:
+        step = len(boundaries) / max_points
+        sampled = sorted({boundaries[int(i * step)] for i in range(max_points)})
+
+    for op_index in sampled:
+        machine = Machine(run_config)
+        _replay_prefix(machine, factory(), ops, op_index, seed)
+        truth = dict(machine.controller._plaintext_shadow)
+        point_plan = plan.derive(op_index)
+        crash_report = machine.crash(point_plan)
+        recovery_report = machine.reboot()
+
+        outcomes: Dict[str, int] = {}
+        silent: List[int] = []
+        for addr in sorted(truth):
+            outcome = _verify_line(
+                machine, addr, truth[addr], crash_report, recovery_report
+            )
+            outcomes[outcome] = outcomes.get(outcome, 0) + 1
+            if outcome == OUTCOME_SILENT:
+                silent.append(addr)
+        result.points.append(
+            CrashPointResult(
+                op_index=op_index,
+                plan_seed=point_plan.seed,
+                dispositions={
+                    "drained": crash_report.drained,
+                    "dropped": crash_report.dropped,
+                    "torn": crash_report.torn,
+                },
+                outcomes=outcomes,
+                silent_lines=tuple(silent),
+                trials=recovery_report.trials,
+                recovery_ns=recovery_report.recovery_ns,
+                recovered_keys=recovery_report.ott_keys_recovered,
+            )
+        )
+    return result

@@ -102,6 +102,16 @@ class PageCache:
         self.stats.add("syncs")
         return dirty
 
+    def drop_all(self) -> int:
+        """Crash: DRAM-resident pages vanish, dirty or not.
+
+        Returns how many pages were lost — callers deciding whether the
+        crash cost un-synced data want the count.
+        """
+        lost = len(self._pages)
+        self._pages.clear()
+        return lost
+
     @property
     def resident_pages(self) -> int:
         return len(self._pages)

@@ -33,6 +33,7 @@ DEFAULTS: Dict[str, object] = {
         "repro/mem/",
         "repro/core/",
         "repro/crypto/",
+        "repro/faults/",
     ],
     # Layers that handle key material (key-hygiene).
     "crypto-paths": [
@@ -41,9 +42,10 @@ DEFAULTS: Dict[str, object] = {
         "repro/secmem/",
         "repro/kernel/",
         "repro/fs/",
+        "repro/faults/",
     ],
     # Layers allowed to write NVM-backed state (persist-through-wpq).
-    "nvm-write-paths": ["repro/mem/", "repro/secmem/", "repro/core/"],
+    "nvm-write-paths": ["repro/mem/", "repro/secmem/", "repro/core/", "repro/faults/"],
     # Where the config-not-component contract applies.
     "benchmark-paths": ["benchmarks/"],
     # The one module allowed to touch CounterBlock fields directly.

@@ -167,6 +167,11 @@ class Project:
     files: List[SourceFile] = field(default_factory=list)
     #: ``NAME_BITS`` -> declared width, e.g. {"GROUP_ID_BITS": 18}.
     bits_constants: Dict[str, int] = field(default_factory=dict)
+    #: alias ``*_BITS`` name -> source ``*_BITS`` name, from cross-module
+    #: imports (``from x import FOO_BITS as BAR_BITS``) and re-binding
+    #: assignments (``BAR_BITS = pkg.FOO_BITS``); resolved into
+    #: :attr:`bits_constants` at the end of :meth:`index`.
+    bits_aliases: Dict[str, str] = field(default_factory=dict)
     #: class name -> positional index (self excluded) of its ``stats``
     #: parameter, for classes that accept an injectable StatCounters.
     stats_classes: Dict[str, int] = field(default_factory=dict)
@@ -176,6 +181,26 @@ class Project:
     def index(self) -> None:
         for src in self.files:
             self._index_file(src)
+        self._resolve_bits_aliases()
+
+    def _resolve_bits_aliases(self) -> None:
+        """Fixpoint-resolve alias chains into :attr:`bits_constants`.
+
+        ``A_BITS -> B_BITS -> 18`` may need two passes when ``A_BITS`` is
+        indexed before ``B_BITS``; iterate until no alias resolves, so
+        chain order and file order never matter.
+        """
+        pending = dict(self.bits_aliases)
+        while pending:
+            progressed = False
+            for alias, source in list(pending.items()):
+                width = self.bits_constants.get(source)
+                if width is not None:
+                    self.bits_constants.setdefault(alias, width)
+                    del pending[alias]
+                    progressed = True
+            if not progressed:  # unresolvable (or circular) aliases remain
+                break
 
     def _index_file(self, src: SourceFile) -> None:
         in_component_layer = path_matches(src.rel, COMPONENT_LAYERS)
@@ -185,16 +210,41 @@ class Project:
                 if (
                     isinstance(target, ast.Name)
                     and target.id.lstrip("_").endswith("_BITS")
-                    and isinstance(node.value, ast.Constant)
-                    and isinstance(node.value.value, int)
                 ):
-                    self.bits_constants.setdefault(target.id.lstrip("_"), node.value.value)
+                    name = target.id.lstrip("_")
+                    if isinstance(node.value, ast.Constant) and isinstance(node.value.value, int):
+                        self.bits_constants.setdefault(name, node.value.value)
+                    else:
+                        source = _bits_source_name(node.value)
+                        if source is not None and source != name:
+                            self.bits_aliases.setdefault(name, source)
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    bound = (alias.asname or alias.name).lstrip("_")
+                    original = alias.name.lstrip("_")
+                    if bound.endswith("_BITS") and original.endswith("_BITS") and bound != original:
+                        self.bits_aliases.setdefault(bound, original)
             elif isinstance(node, ast.ClassDef):
                 stats_index = _stats_param_index(node)
                 if stats_index is not None:
                     self.stats_classes.setdefault(node.name, stats_index)
                 if in_component_layer and _is_component_class(node):
                     self.component_classes.setdefault(node.name, src.rel)
+
+
+def _bits_source_name(value: ast.AST) -> Optional[str]:
+    """Terminal ``*_BITS`` identifier of an alias RHS, if it is one.
+
+    Accepts a bare name (``FOO_BITS``) or a dotted reference whose last
+    attribute is a ``*_BITS`` constant (``ott.FOO_BITS``).
+    """
+    if isinstance(value, ast.Name):
+        name = value.id.lstrip("_")
+    elif isinstance(value, ast.Attribute):
+        name = value.attr.lstrip("_")
+    else:
+        return None
+    return name if name.endswith("_BITS") else None
 
 
 def _stats_param_index(cls: ast.ClassDef) -> Optional[int]:

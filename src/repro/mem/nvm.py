@@ -180,12 +180,20 @@ class NVMStore:
     ``read_line`` of a never-written line returns an "erased" pattern —
     deterministic so functional decryption of uninitialised memory is
     reproducible in tests.
+
+    Alongside each data line the store can hold the line's 8-byte
+    plaintext ECC (Osiris §II-D: ECC computed over plaintext, written
+    with the ciphertext).  The ECC side-table is what post-crash counter
+    recovery trial-decrypts against, and ``flip_bit`` is the
+    fault-injection hook that corrupts ciphertext in place the way a
+    failing PCM cell would.
     """
 
     ERASED = bytes(LINE_SIZE)
 
     def __init__(self) -> None:
         self._lines: Dict[int, bytes] = {}
+        self._ecc: Dict[int, bytes] = {}
 
     def write_line(self, addr: int, data: bytes) -> None:
         if len(data) != LINE_SIZE:
@@ -194,6 +202,32 @@ class NVMStore:
 
     def read_line(self, addr: int) -> bytes:
         return self._lines.get(line_address(addr), self.ERASED)
+
+    def write_ecc(self, addr: int, ecc: Optional[bytes]) -> None:
+        """Store (or with ``None``, erase) a line's plaintext ECC byte-per-word."""
+        line = line_address(addr)
+        if ecc is None:
+            self._ecc.pop(line, None)
+            return
+        if len(ecc) != LINE_SIZE // 8:
+            raise ValueError(f"ecc must be {LINE_SIZE // 8} bytes, got {len(ecc)}")
+        self._ecc[line] = bytes(ecc)
+
+    def read_ecc(self, addr: int) -> Optional[bytes]:
+        return self._ecc.get(line_address(addr))
+
+    def scan_ecc(self) -> Dict[int, bytes]:
+        """Every line that carries ECC — the recovery sweep's worklist."""
+        return dict(self._ecc)
+
+    def flip_bit(self, addr: int, bit: int) -> None:
+        """Fault injection: flip one stored ciphertext bit in place."""
+        if not 0 <= bit < LINE_SIZE * 8:
+            raise ValueError(f"bit index {bit} out of line range")
+        line = line_address(addr)
+        data = bytearray(self._lines.get(line, self.ERASED))
+        data[bit // 8] ^= 1 << (bit % 8)
+        self._lines[line] = bytes(data)
 
     def __contains__(self, addr: int) -> bool:
         return line_address(addr) in self._lines

@@ -83,3 +83,23 @@ class WritePendingQueue:
         self.stats.add("full_drains")
         self._backlog_clear_ns = now_ns
         return remaining
+
+    def crash_drain(self, now_ns: float, drain_fraction: float) -> "tuple[int, int]":
+        """Power failure: ADR drains what it can, the rest is lost.
+
+        ``drain_fraction`` models how far the stored energy gets through
+        the backlog (1.0 = healthy ADR, everything lands; 0.0 = none of
+        the queue survives).  Returns ``(drained, lost)`` entry counts;
+        the queue is empty afterwards either way — there is no machine
+        left to drain into.
+        """
+        if not 0.0 <= drain_fraction <= 1.0:
+            raise ValueError("drain_fraction must be in [0, 1]")
+        occupancy = self.occupancy_at(now_ns)
+        drained = int(occupancy * drain_fraction)
+        lost = occupancy - drained
+        self._backlog_clear_ns = now_ns
+        self.stats.add("crash_drains")
+        self.stats.add("crash_drained_entries", drained)
+        self.stats.add("crash_lost_entries", lost)
+        return drained, lost

@@ -76,6 +76,10 @@ class OsirisTracker:
         """Lines with un-persisted updates — what a crash would lose."""
         return {addr: d for addr, d in self._distance.items() if d > 0}
 
+    def reset(self) -> None:
+        """Post-recovery: every counter line just got re-persisted."""
+        self._distance.clear()
+
 
 @dataclass(frozen=True)
 class RecoveryResult:

@@ -31,7 +31,7 @@ the :class:`~repro.mem.nvm.NVMStore`, and the Merkle tree really hashes
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..crypto.iv import MEMORY_DOMAIN, CounterIV
 from ..crypto.keys import KeyHierarchy
@@ -42,6 +42,7 @@ from ..mem.controller import MemoryControllerBase, MemoryRequest
 from ..mem.nvm import NVMDevice, NVMStore
 from ..mem.stats import StatCounters
 from .counters import CounterStore
+from .ecc import encode_line
 from .layout import MetadataLayout
 from .merkle import BonsaiMerkleTree
 from .metadata_cache import MetadataCache, MetadataCacheConfig, MetadataKind
@@ -91,6 +92,15 @@ class BaselineSecureController(MemoryControllerBase):
         # functional page re-encryption (old-pad ciphertext would otherwise
         # be orphaned by a major-counter bump).
         self._plaintext_shadow: dict = {}
+        # Fault injection: when a CrashDomain is attached (Machine does
+        # this in functional mode), every functional line write is staged
+        # through it so a crash can tear or drop the in-flight tail.
+        self.crash_domain = None
+        # Persisted-counter journal: the values a post-crash reader would
+        # find in the NVM counter lines.  Updated on every counter-line
+        # NVM write (stop-loss, eviction, drain, overflow); recovery
+        # starts its trial-decryption window from exactly these values.
+        self._persisted_mecb: Dict[int, Tuple[int, Tuple[int, ...]]] = {}
 
     # ------------------------------------------------------------------
     # Merkle leaf serialisation (functional integrity)
@@ -119,6 +129,25 @@ class BaselineSecureController(MemoryControllerBase):
             self.device.write(eviction.addr)
             self.stats.add("metadata_writebacks")
             self.osiris.note_persisted(eviction.addr)
+            self._journal_counter_persist(eviction.addr)
+
+    def _journal_counter_persist(self, addr: int) -> None:
+        """Record what a counter-line NVM write makes durable.
+
+        The journal stands in for reading the persisted line back after
+        a crash; Merkle-node addresses fall through both range checks
+        (node digests are recomputed at reboot, not recovered).
+        """
+        if self.layout.mecb_base <= addr < self.layout.fecb_base:
+            page = (addr - self.layout.mecb_base) // LINE_SIZE
+            block = self.mecb.peek(page)
+            if block is not None:
+                self._persisted_mecb[page] = (block.major, tuple(block.minors))
+        else:
+            self._journal_protected_persist(addr)
+
+    def _journal_protected_persist(self, addr: int) -> None:
+        """Hook: journal FECB-range persists (FsEncr overrides)."""
 
     def _fetch_metadata_line(self, addr: int, kind: str, is_write: bool) -> float:
         """Bring one metadata line on-chip; returns latency of the fetch.
@@ -189,6 +218,15 @@ class BaselineSecureController(MemoryControllerBase):
         if overflowed:
             self.stats.add("minor_overflows")
             latency += self._reencrypt_page(page)
+            # Osiris persists the counter line together with the
+            # re-encrypted page: a crash between the major bump and the
+            # next stop-loss write-through must not strand ciphertext
+            # sealed under a counter outside the recovery window.
+            self.device.write(counter_addr)
+            self.stats.add("overflow_counter_persists")
+            self.osiris.note_persisted(counter_addr)
+            self.metadata_cache.clean_line(counter_addr, self._kind_for(counter_addr))
+            self._journal_counter_persist(counter_addr)
         if self.osiris.note_update(counter_addr):
             # Stop-loss write-through of the counter line.  Posted: it
             # consumes device bandwidth (and shows up in the write
@@ -196,6 +234,7 @@ class BaselineSecureController(MemoryControllerBase):
             self.device.write(counter_addr)
             self.stats.add("osiris_counter_persists")
             self.metadata_cache.clean_line(counter_addr, self._kind_for(counter_addr))
+            self._journal_counter_persist(counter_addr)
         return latency
 
     def _kind_for(self, counter_addr: int) -> str:
@@ -213,6 +252,11 @@ class BaselineSecureController(MemoryControllerBase):
         """
         if not self.config.model_counter_overflow:
             return 0.0
+        if self.crash_domain is not None:
+            # Re-encryption is a long synchronous controller operation;
+            # the model treats it as flushing the ADR domain first so the
+            # staged old/new line pairs are not invalidated mid-rewrite.
+            self.crash_domain.drain_all()
         latency = 0.0
         base = page * 4096
         for line_index in range(LINES_PER_PAGE):
@@ -294,8 +338,23 @@ class BaselineSecureController(MemoryControllerBase):
                 if request.data is not None
                 else self._plaintext_shadow.get(raw_addr, bytes(LINE_SIZE))
             )
+            sealed = self._seal(request.addr, plaintext)
+            ecc = encode_line(bytes(plaintext))
+            if self.crash_domain is not None:
+                # Stage before mutating: a crash may need the pre-write
+                # line back (dropped persist) or a mix (torn write).
+                self.crash_domain.record(
+                    raw_addr,
+                    old_cipher=self.store.read_line(raw_addr),
+                    old_ecc=self.store.read_ecc(raw_addr),
+                    old_plain=self._plaintext_shadow.get(raw_addr),
+                    new_cipher=sealed,
+                    new_ecc=ecc,
+                    new_plain=bytes(plaintext),
+                )
             self._plaintext_shadow[raw_addr] = bytes(plaintext)
-            self.store.write_line(raw_addr, self._seal(request.addr, plaintext))
+            self.store.write_line(raw_addr, sealed)
+            self.store.write_ecc(raw_addr, ecc)
         self._update_merkle_path(counter_addr)
         latency += self.config.aes_latency_ns + self.config.xor_latency_ns
         latency += self.device.write(raw_addr, persist=request.persist)
@@ -342,5 +401,30 @@ class BaselineSecureController(MemoryControllerBase):
         for victim in victims:
             self.device.write(victim.addr)
             self.osiris.note_persisted(victim.addr)
+            self._journal_counter_persist(victim.addr)
         self.stats.add("drain_writes", len(victims))
         return len(victims)
+
+    def _integrity_leaf_addrs(self):
+        """Metadata addresses whose leaves carry state worth rehashing
+        after a crash (FsEncr extends with FECBs and OTT slots)."""
+        for page in sorted(self.mecb.blocks):
+            yield self.layout.mecb_addr(page)
+
+    def rebuild_integrity_tree(self) -> int:
+        """Reboot: recompute the BMT from recovered metadata.
+
+        The on-chip tree state is volatile; after recovery installs the
+        surviving counters, every populated leaf is rehashed bottom-up so
+        subsequent reads verify against the *recovered* state.  Returns
+        the number of leaves rebuilt.
+        """
+        self.merkle = BonsaiMerkleTree(
+            self.layout, leaf_reader=self._merkle_leaf_bytes, stats=self.merkle.stats
+        )
+        leaves = 0
+        for addr in self._integrity_leaf_addrs():
+            self.merkle.update_leaf(addr)
+            leaves += 1
+        self.stats.add("merkle_rebuild_leaves", leaves)
+        return leaves

@@ -11,12 +11,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
+from ..core.ott import OTT_BANKS, OTT_ENTRIES_PER_BANK
 from ..kernel.costs import SoftwareCosts
 from ..mem.cache import CacheConfig
 from ..mem.hierarchy import HierarchyConfig
 from ..mem.nvm import NVMTiming
 from ..mem.wpq import WPQConfig
+from ..secmem.anubis import AnubisRecovery, ShadowTable
 from ..secmem.metadata_cache import MetadataCacheConfig
+from ..secmem.osiris import OsirisRecovery
 from ..secmem.secure_controller import SecureControllerConfig
 
 __all__ = ["Scheme", "MachineConfig", "scaled_hierarchy", "SCALE_FACTOR"]
@@ -104,6 +107,17 @@ class MachineConfig:
     #: (scaled like the caches; the paper's page cache is effectively
     #: memory-sized, ours must be thrashable by scaled workloads).
     page_cache_pages: int = 48
+    #: OTT geometry (§III-E: 8 banks x 128 entries).  The capacity sweep
+    #: of the OTT ablation is a config knob, like every other Table III
+    #: parameter, so benchmarks never construct hardware directly.
+    ott_banks: int = OTT_BANKS
+    ott_entries_per_bank: int = OTT_ENTRIES_PER_BANK
+    #: Anubis shadow-table sizing for the recovery-scheme comparison:
+    #: the shadow mirrors the metadata cache's address stream, so its
+    #: capacity is "number of cached metadata lines" and its base names
+    #: the dedicated NVM region the shadow writes land in.
+    anubis_shadow_lines: int = 64
+    anubis_shadow_base: int = 0x1000_0000
     seed: int = 0x5EED
 
     def __post_init__(self) -> None:
@@ -113,6 +127,10 @@ class MachineConfig:
             raise ValueError("PMEM region exceeds total memory")
         if not 0.0 <= self.write_contention_factor <= 1.0:
             raise ValueError("write_contention_factor must be in [0, 1]")
+        if self.ott_banks < 1 or self.ott_entries_per_bank < 1:
+            raise ValueError("OTT geometry must have at least one slot")
+        if self.anubis_shadow_lines < 1:
+            raise ValueError("anubis_shadow_lines must be >= 1")
 
     def controller_config(self) -> SecureControllerConfig:
         return SecureControllerConfig(
@@ -121,6 +139,26 @@ class MachineConfig:
             functional=self.functional,
             metadata_cache=self.metadata_cache,
         )
+
+    # -- recovery-object builders (config-driven, like the controllers) --
+
+    def build_osiris_recovery(self, stats=None) -> OsirisRecovery:
+        """The Osiris trial-decryption recoverer for this machine's
+        stop-loss window (used at reboot and by the recovery ablation)."""
+        return OsirisRecovery(stop_loss=self.stop_loss, stats=stats)
+
+    def build_anubis_shadow(self, write_hook=None, stats=None) -> ShadowTable:
+        """The Anubis shadow table sized by this config's knobs."""
+        return ShadowTable(
+            capacity_lines=self.anubis_shadow_lines,
+            base_addr=self.anubis_shadow_base,
+            write_hook=write_hook,
+            stats=stats,
+        )
+
+    def build_anubis_recovery(self, stats=None) -> AnubisRecovery:
+        """The Anubis-side recoverer (reads back the shadow region)."""
+        return AnubisRecovery(stats=stats)
 
     @classmethod
     def paper_scale(cls, **overrides) -> "MachineConfig":

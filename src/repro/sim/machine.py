@@ -32,6 +32,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..core.fsencr import FsEncrController
+from ..core.ott import OpenTunnelTable
+from ..faults.domain import CrashDomain
 from ..fs.ecryptfs import SoftwareEncryptionOverlay
 from ..fs.ext4dax import DaxFilesystem, FileHandle
 from ..kernel.costs import SoftwareCosts
@@ -157,6 +159,15 @@ class Machine:
         self._anon_limit_pfn = self.config.pmem_base // PAGE_SIZE
         self._shadow_pfns: Dict[Tuple[int, int], int] = {}
 
+        # Crash lifecycle: in functional mode the secure controller
+        # stages every line write through a CrashDomain sized like the
+        # WPQ, so crash() can tear or drop exactly the at-risk tail.
+        self._crashed = False
+        self.last_crash_report = None
+        self.last_recovery_report = None
+        if self.config.functional and hasattr(self.controller, "crash_domain"):
+            self.controller.crash_domain = CrashDomain(depth=self.config.wpq.entries)
+
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
@@ -168,11 +179,20 @@ class Machine:
         controller_cls = (
             FsEncrController if scheme is Scheme.FSENCR else BaselineSecureController
         )
+        kwargs = {}
+        if controller_cls is FsEncrController:
+            # OTT geometry is a config knob (§III-E ablation axis).
+            kwargs["ott"] = OpenTunnelTable(
+                banks=self.config.ott_banks,
+                entries_per_bank=self.config.ott_entries_per_bank,
+                stats=self.registry.create("ott"),
+            )
         controller = controller_cls(
             layout=self.layout,
             config=self.controller_config(),
             device=device,
             stats=self.registry.create("controller"),
+            **kwargs,
         )
         # Surface the secure controller's sub-component counters in run
         # results (metadata cache hit rates etc. feed the analyses).
@@ -180,7 +200,6 @@ class Machine:
         self.registry.register(controller.merkle.stats)
         self.registry.register(controller.osiris.stats)
         if isinstance(controller, FsEncrController):
-            self.registry.register(controller.ott.stats)
             self.registry.register(controller.ott_region.stats)
         return controller
 
@@ -513,6 +532,39 @@ class Machine:
             self.store_bytes(dst_base, data)
             copied += PAGE_SIZE
         return copied
+
+    # ------------------------------------------------------------------
+    # Crash / reboot lifecycle
+    # ------------------------------------------------------------------
+
+    def crash(self, plan=None):
+        """Power-fail now: volatile state is lost, the in-flight write
+        tail is resolved per ``plan`` (drained / dropped / torn), media
+        bit flips land.  Returns a
+        :class:`~repro.faults.lifecycle.CrashReport`."""
+        from ..faults.lifecycle import crash_machine
+        from ..faults.plan import FaultPlan
+
+        if self._crashed:
+            raise RuntimeError("machine already crashed; reboot() first")
+        report = crash_machine(self, plan or FaultPlan())
+        self._crashed = True
+        self.last_crash_report = report
+        return report
+
+    def reboot(self):
+        """Come back up through the real recovery paths (OTT region
+        scan, Osiris trial decryption, Merkle rebuild).  Returns a
+        :class:`~repro.faults.lifecycle.RecoveryReport`; recovery
+        latency is charged to the machine clock."""
+        from ..faults.lifecycle import reboot_machine
+
+        if not self._crashed:
+            raise RuntimeError("reboot() without a preceding crash()")
+        report = reboot_machine(self)
+        self._crashed = False
+        self.last_recovery_report = report
+        return report
 
     # ------------------------------------------------------------------
     # Results

@@ -1,0 +1,108 @@
+"""Systematic crash-point sweeps: the universal no-silent-corruption claim.
+
+One PMEMKV pattern and one DAX micro-workload are swept end to end —
+record, replay-to-boundary, crash, reboot, audit — under a mixed fault
+plan (partial ADR drain, torn writes, a media bit flip).  The sweep's
+own invariant does the heavy lifting; these tests pin it plus the
+determinism contract that makes any failure a repro.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.faults.sweep import (
+    OUTCOME_DETECTED,
+    OUTCOME_RECOVERED_NEW,
+    OUTCOME_SILENT,
+    SweepResult,
+    CrashPointResult,
+    sweep_workload,
+    workload_factory,
+)
+from repro.sim import MachineConfig, Scheme
+
+PLAN = FaultPlan(seed=0xFA11, drain_fraction=0.5, torn_probability=0.5, bit_flips=1)
+
+
+def run_sweep(name: str, **factory_kw) -> SweepResult:
+    return sweep_workload(
+        workload_factory(name, **factory_kw),
+        MachineConfig(scheme=Scheme.FSENCR),
+        plan=PLAN,
+        max_points=4,
+        seed=0xFA11,
+        name=name,
+    )
+
+
+@pytest.fixture(scope="module")
+def dax_sweep() -> SweepResult:
+    return run_sweep("DAX-3", iterations=16)
+
+
+@pytest.fixture(scope="module")
+def pmemkv_sweep() -> SweepResult:
+    return run_sweep("Fillseq-S", ops=12)
+
+
+class TestInvariant:
+    def test_dax_micro_no_silent_corruption(self, dax_sweep):
+        dax_sweep.assert_invariant()
+        assert dax_sweep.silent_corruptions == 0
+        assert dax_sweep.outcome_totals().get(OUTCOME_SILENT, 0) == 0
+
+    def test_pmemkv_no_silent_corruption(self, pmemkv_sweep):
+        pmemkv_sweep.assert_invariant()
+        assert pmemkv_sweep.silent_corruptions == 0
+
+    def test_sweep_actually_exercised_faults(self, dax_sweep):
+        """The invariant is vacuous unless lines were really at risk."""
+        assert len(dax_sweep.points) > 0
+        assert dax_sweep.boundaries_total >= len(dax_sweep.points)
+        dispositions = {k: 0 for k in ("drained", "dropped", "torn")}
+        for point in dax_sweep.points:
+            for kind, count in point.dispositions.items():
+                dispositions[kind] += count
+        assert dispositions["drained"] > 0
+        assert dispositions["dropped"] + dispositions["torn"] > 0
+        totals = dax_sweep.outcome_totals()
+        assert totals.get(OUTCOME_RECOVERED_NEW, 0) > 0
+        assert totals.get(OUTCOME_DETECTED, 0) > 0
+
+    def test_recovery_work_is_accounted(self, pmemkv_sweep):
+        for point in pmemkv_sweep.points:
+            assert point.recovery_ns > 0
+            assert point.recovered_keys >= 1  # the workload's file key
+
+
+class TestDeterminism:
+    def test_identical_sweeps_produce_identical_results(self, dax_sweep):
+        again = run_sweep("DAX-3", iterations=16)
+        assert again.points == dax_sweep.points
+        assert again.boundaries_total == dax_sweep.boundaries_total
+
+    def test_per_point_plans_are_derived_not_shared(self, dax_sweep):
+        seeds = [point.plan_seed for point in dax_sweep.points]
+        assert len(set(seeds)) == len(seeds)
+        assert all(seed != PLAN.seed for seed in seeds)
+
+
+class TestAssertInvariantMechanism:
+    def test_raises_listing_silent_lines(self):
+        result = SweepResult(workload="w", scheme="fsencr", seed=1, boundaries_total=1)
+        result.points.append(
+            CrashPointResult(
+                op_index=0,
+                plan_seed=1,
+                dispositions={},
+                outcomes={OUTCOME_SILENT: 1},
+                silent_lines=(0x1000,),
+                trials=0,
+                recovery_ns=0.0,
+                recovered_keys=0,
+            )
+        )
+        with pytest.raises(AssertionError, match="0x1000"):
+            result.assert_invariant()

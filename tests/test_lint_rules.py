@@ -129,6 +129,90 @@ def test_bit_width_quiet_when_constants_used(tmp_path):
     assert findings == []
 
 
+def test_bit_width_resolves_import_alias(tmp_path):
+    """A width imported under a different *_BITS name still bounds IDs."""
+    findings, _ = lint_tree(
+        tmp_path,
+        {
+            "src/repro/core/defs.py": """
+                SLOT_BITS = 21
+                """,
+            "src/repro/secmem/user.py": """
+                from repro.core.defs import SLOT_BITS as TAG_BITS
+                def make(cls):
+                    return cls(tag=3000000)
+                """,
+        },
+        rule="bit-width-bounds",
+    )
+    assert any(
+        "does not fit tag" in f.message and "TAG_BITS = 21 bits" in f.message
+        for f in findings
+    )
+
+
+def test_bit_width_resolves_assignment_alias(tmp_path):
+    """``X_BITS = mod.Y_BITS`` re-bindings inherit the declared width."""
+    findings, _ = lint_tree(
+        tmp_path,
+        {
+            "src/repro/core/defs.py": """
+                GROUP_ID_BITS = 18
+                """,
+            "src/repro/core/user.py": """
+                from repro.core import defs
+                TENANT_BITS = defs.GROUP_ID_BITS
+                def make(cls):
+                    return cls(tenant=300000)
+                """,
+        },
+        rule="bit-width-bounds",
+    )
+    assert any(
+        "does not fit tenant" in f.message and "TENANT_BITS = 18 bits" in f.message
+        for f in findings
+    )
+
+
+def test_bit_width_alias_chain_is_file_order_independent(tmp_path):
+    """Alias-of-alias resolves even when the alias file indexes first."""
+    findings, _ = lint_tree(
+        tmp_path,
+        {
+            # "a" sorts (and is written) before the defining module.
+            "src/repro/core/a_user.py": """
+                from repro.core.mid import WAY_BITS as LANE_BITS
+                def make(cls):
+                    return cls(lane=3000000)
+                """,
+            "src/repro/core/mid.py": """
+                from repro.core.z_defs import SLOT_BITS as WAY_BITS
+                """,
+            "src/repro/core/z_defs.py": """
+                SLOT_BITS = 21
+                """,
+        },
+        rule="bit-width-bounds",
+    )
+    assert any("does not fit lane" in f.message for f in findings)
+
+
+def test_bit_width_unresolvable_alias_stays_quiet(tmp_path):
+    """An alias of an unknown constant neither crashes nor bounds anything."""
+    findings, _ = lint_tree(
+        tmp_path,
+        {
+            "src/repro/core/user.py": """
+                from somewhere.else_ import MYSTERY_BITS as TAG_BITS
+                def make(cls):
+                    return cls(tag=3000000)
+                """,
+        },
+        rule="bit-width-bounds",
+    )
+    assert findings == []
+
+
 # -- counter-overflow-handled -------------------------------------------
 
 

@@ -52,6 +52,61 @@ class TestQueueModel:
         with pytest.raises(ValueError):
             WPQConfig(entries=0)
 
+    def test_occupancy_at_exact_drain_boundaries(self):
+        """Occupancy steps down exactly at each drain completion; an
+        entry mid-service still occupies its slot until it finishes."""
+        wpq = WritePendingQueue(WPQConfig(entries=4, drain_ns_per_entry=100.0))
+        for _ in range(4):
+            wpq.accept(0.0)
+        assert wpq.occupancy_at(0.0) == 4
+        assert wpq.occupancy_at(99.9) == 4  # first drain not yet done
+        assert wpq.occupancy_at(100.0) == 3  # exactly done
+        assert wpq.occupancy_at(100.1) == 3
+        assert wpq.occupancy_at(300.0) == 1
+        assert wpq.occupancy_at(400.0) == 0
+        assert wpq.occupancy_at(1e9) == 0
+
+    def test_drain_all_after_a_stall(self):
+        """A stalled accept leaves a full backlog; drain_all must report
+        the whole remaining service time and empty the queue."""
+        wpq = WritePendingQueue(WPQConfig(entries=2, drain_ns_per_entry=100.0))
+        wpq.accept(0.0)
+        wpq.accept(0.0)
+        wpq.accept(0.0)  # stalls: waits for a slot, re-fills the queue
+        assert wpq.stats.get("stalls") == 1
+        # Backlog after the stall: 2 in-queue entries + the drain the
+        # stalled entry waited out = clears at 300 ns.
+        assert wpq.drain_all(0.0) == pytest.approx(300.0)
+        assert wpq.occupancy_at(0.0) == 0
+        # A second drain with nothing queued is free.
+        assert wpq.drain_all(0.0) == pytest.approx(0.0)
+
+    def test_crash_drain_partial(self):
+        wpq = WritePendingQueue(WPQConfig(entries=8, drain_ns_per_entry=100.0))
+        for _ in range(6):
+            wpq.accept(0.0)
+        drained, lost = wpq.crash_drain(0.0, 0.5)
+        assert (drained, lost) == (3, 3)
+        assert wpq.occupancy_at(0.0) == 0  # queue is gone either way
+        assert wpq.stats.get("crash_drained_entries") == 3
+        assert wpq.stats.get("crash_lost_entries") == 3
+
+    def test_crash_drain_full_and_none(self):
+        wpq = WritePendingQueue(WPQConfig(entries=8, drain_ns_per_entry=100.0))
+        for _ in range(4):
+            wpq.accept(0.0)
+        assert wpq.crash_drain(0.0, 1.0) == (4, 0)
+        for _ in range(4):
+            wpq.accept(0.0)
+        assert wpq.crash_drain(0.0, 0.0) == (0, 4)
+
+    def test_crash_drain_rejects_bad_fraction(self):
+        wpq = WritePendingQueue(WPQConfig(entries=4))
+        with pytest.raises(ValueError):
+            wpq.crash_drain(0.0, -0.1)
+        with pytest.raises(ValueError):
+            wpq.crash_drain(0.0, 1.1)
+
 
 class TestMachineIntegration:
     def _machine(self, model_wpq):
