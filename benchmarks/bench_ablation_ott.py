@@ -45,14 +45,14 @@ def test_ablation_ott_size(benchmark, results_dir):
     for entries, result in sorted(results.items()):
         print(
             f"{entries:>12}{result.elapsed_ns / 1e6:>14.3f}"
-            f"{result.stats.get('controller.ott_refills', 0):>9.0f}"
-            f"{result.stats.get('controller.ott_spills', 0):>8.0f}"
+            f"{result.stat('controller.ott_refills'):>9.0f}"
+            f"{result.stat('controller.ott_spills'):>8.0f}"
         )
 
     # The tiny table must actually be stressed...
-    assert results[8].stats.get("controller.ott_refills", 0) > 0
+    assert results[8].stat("controller.ott_refills") > 0
     # ...and the paper-size table must not be.
-    assert results[1024].stats.get("controller.ott_refills", 0) == 0
+    assert results[1024].stat("controller.ott_refills") == 0
     # The paper's negligibility claim: even stressed, the overhead is
     # small; at paper size it is essentially zero.
     tiny_overhead = results[8].elapsed_ns / baseline.elapsed_ns - 1

@@ -25,8 +25,9 @@ HOT_WRITES = 1024  # 8 overflows of one line's minor counter
 
 def hammer(model_overflow: bool):
     # White-box ablation: hammers one counter line against a bare
-    # controller (no machine) to isolate the overflow path's cost.
-    # repro-lint: disable=config-not-component
+    # controller (no machine, no results registry) to isolate the
+    # overflow path's cost; stats are read off the controller bundle.
+    # repro-lint: disable=config-not-component,stats-registered
     controller = BaselineSecureController(
         layout=LAYOUT,
         config=SecureControllerConfig(model_counter_overflow=model_overflow),
@@ -47,8 +48,8 @@ def test_ablation_counter_overflow(benchmark, results_dir):
     with_model, latency_on = results[True]
     without_model, latency_off = results[False]
 
-    overflows = with_model.stats.get("minor_overflows")
-    reencryptions = with_model.stats.get("page_reencryptions")
+    overflows = with_model.stats.stat("minor_overflows")
+    reencryptions = with_model.stats.stat("page_reencryptions")
     print()
     print(f"writes to one line: {HOT_WRITES}")
     print(f"minor overflows: {overflows} (predicted {HOT_WRITES // 128})")
@@ -59,7 +60,7 @@ def test_ablation_counter_overflow(benchmark, results_dir):
 
     assert overflows == HOT_WRITES // 128
     assert reencryptions == overflows
-    assert without_model.stats.get("page_reencryptions") == 0
+    assert without_model.stats.stat("page_reencryptions") == 0
     assert latency_on > latency_off
     # Amortised, the re-encryption burden stays bounded (§VI's claim
     # that overflow handling need not frighten anyone).

@@ -36,7 +36,7 @@ def run_osiris():
             lambda candidate: plaintext if candidate == STOP_LOSS else bytes(64),
             lambda line: check_line(line, ecc),
         )
-    return recovery.stats.get("trials")
+    return recovery.stats.stat("trials")
 
 
 def run_anubis():
@@ -48,7 +48,7 @@ def run_anubis():
             shadow.note_evict(resident.pop(0))
         shadow.note_insert(addr)
         resident.append(addr)
-    runtime_writes = shadow.stats.get("shadow_writes")
+    runtime_writes = shadow.stats.stat("shadow_writes")
     result = CONFIG.build_anubis_recovery().recover(shadow, lambda addr: None)
     return result.recovered_lines, runtime_writes
 

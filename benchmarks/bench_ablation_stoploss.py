@@ -31,8 +31,8 @@ def test_ablation_osiris_stop_loss(benchmark, results_dir):
     print(f"{'stop_loss':>10}{'NVM writes':>12}{'forced persists':>17}{'max recovery trials':>21}")
     persists = {}
     for stop_loss, result in sorted(results.items()):
-        forced = result.stats.get("controller.osiris_counter_persists", 0) + result.stats.get(
-            "controller.osiris_fecb_persists", 0
+        forced = result.stat("controller.osiris_counter_persists") + result.stat(
+            "controller.osiris_fecb_persists"
         )
         persists[stop_loss] = forced
         print(f"{stop_loss:>10}{result.nvm_writes:>12}{forced:>17.0f}{stop_loss + 1:>21}")

@@ -11,9 +11,12 @@
     python -m repro crashsweep      # systematic crash/recovery audit
 
 ``--ops`` / ``--iters`` scale the workloads; ``--json PATH`` saves the
-table data for downstream plotting.  ``crashsweep`` additionally takes
-``--workload/--points/--seed/--drain-fraction/--torn-prob/--bit-flips``
-and exits non-zero iff any crash point produced silent corruption.
+table data for downstream plotting.  ``crashsweep`` runs the full
+(scheme x fault-profile) matrix by default — narrow it with
+``--scheme`` / ``--profile``, or shape a one-off plan with ``--profile
+custom`` plus ``--drain-fraction/--torn-prob/--torn-burst/--bit-flips/
+--counter-flips`` — and exits non-zero iff any cell's crash point
+produced silent corruption.
 """
 
 from __future__ import annotations
@@ -105,66 +108,119 @@ def _run_all(args) -> None:
 
 
 def _run_crashsweep(args) -> int:
-    """Crash at sampled persist boundaries, recover, audit every line."""
+    """Crash-sweep the (scheme x fault-profile) matrix, audit every line.
+
+    ``--scheme all`` runs every matrix column (fsencr, baseline_secure,
+    fsencr+wpq); ``--profile all`` runs every named fault profile.
+    ``--profile custom`` builds one plan from the individual fault
+    flags.  Exit code is the total silent-corruption count.
+    """
     import json
 
-    from .faults.plan import FaultPlan
-    from .faults.sweep import sweep_workload, workload_factory
-    from .sim.config import MachineConfig, Scheme
+    from .faults.plan import FAULT_PROFILES, FaultPlan
+    from .faults.sweep import matrix_configs, sweep_matrix, workload_factory
 
-    scheme = Scheme(args.scheme)
-    plan = FaultPlan(
-        seed=args.seed,
-        drain_fraction=args.drain_fraction,
-        torn_probability=args.torn_prob,
-        bit_flips=args.bit_flips,
-    )
-    result = sweep_workload(
+    columns = matrix_configs()
+    if args.scheme != "all":
+        columns = [(label, cfg) for label, cfg in columns if label == args.scheme]
+        if not columns:
+            known = ", ".join(label for label, _ in matrix_configs())
+            raise SystemExit(f"unknown --scheme {args.scheme!r} (choose from {known}, all)")
+
+    knobs = {
+        "drain_fraction": args.drain_fraction,
+        "torn_probability": args.torn_prob,
+        "torn_burst": args.torn_burst,
+        "bit_flips": args.bit_flips,
+        "counter_flips": args.counter_flips,
+    }
+    knobs_given = any(value is not None for value in knobs.values())
+    profile = args.profile
+    if knobs_given and profile == "all":
+        # Individual plan flags imply a one-off plan; silently running
+        # the named profiles instead would ignore what the user typed.
+        profile = "custom"
+    if profile == "custom":
+        # Base for unspecified flags: the historical CLI plan (a mixed
+        # half-drain), not FaultPlan's all-drained default.
+        base = {
+            "drain_fraction": 0.5,
+            "torn_probability": 0.5,
+            "torn_burst": 1,
+            "bit_flips": 0,
+            "counter_flips": 0,
+        }
+        base.update({key: value for key, value in knobs.items() if value is not None})
+        profiles = {"custom": FaultPlan(**base)}
+    elif knobs_given:
+        raise SystemExit(
+            f"--profile {profile!r} is a named profile; plan flags like "
+            "--drain-fraction only apply with --profile custom (or all, "
+            "which they override)"
+        )
+    elif args.profile == "all":
+        profiles = dict(FAULT_PROFILES)
+    elif args.profile in FAULT_PROFILES:
+        profiles = {args.profile: FAULT_PROFILES[args.profile]}
+    else:
+        known = ", ".join(sorted(FAULT_PROFILES))
+        raise SystemExit(f"unknown --profile {args.profile!r} (choose from {known}, all, custom)")
+
+    matrix = sweep_matrix(
         workload_factory(args.workload, ops=args.ops or 0, iterations=args.iters or 0),
-        MachineConfig(scheme=scheme),
-        plan=plan,
+        profiles=profiles,
+        schemes=columns,
         max_points=args.points,
         seed=args.seed,
         name=args.workload,
     )
-    print(result.summary())
-    for point in result.points:
-        print(
-            f"  op {point.op_index:>5}: {point.dispositions} -> {point.outcomes}, "
-            f"{point.trials} trials, {point.recovery_ns / 1000.0:.1f} us recovery"
-        )
+    print(matrix.summary())
+    for (scheme_label, profile_name), cell in sorted(matrix.cells.items()):
+        for point in cell.points:
+            print(
+                f"  [{scheme_label}/{profile_name}] op {point.op_index:>5}: "
+                f"{point.dispositions} -> {point.outcomes}, "
+                f"{point.trials} trials, {point.recovery_ns / 1000.0:.1f} us recovery"
+            )
     if args.json:
         Path(args.json).write_text(
             json.dumps(
                 {
-                    "workload": result.workload,
-                    "scheme": result.scheme,
-                    "seed": result.seed,
-                    "boundaries_total": result.boundaries_total,
-                    "silent_corruptions": result.silent_corruptions,
-                    "outcomes": result.outcome_totals(),
-                    "points": [
+                    "workload": matrix.workload,
+                    "seed": matrix.seed,
+                    "silent_corruptions": matrix.silent_corruptions,
+                    "cells": [
                         {
-                            "op_index": p.op_index,
-                            "plan_seed": p.plan_seed,
-                            "dispositions": p.dispositions,
-                            "outcomes": p.outcomes,
-                            "silent_lines": list(p.silent_lines),
-                            "trials": p.trials,
-                            "recovery_ns": p.recovery_ns,
+                            "scheme": scheme_label,
+                            "profile": profile_name,
+                            "boundaries_total": cell.boundaries_total,
+                            "silent_corruptions": cell.silent_corruptions,
+                            "outcomes": cell.outcome_totals(),
+                            "points": [
+                                {
+                                    "op_index": p.op_index,
+                                    "plan_seed": p.plan_seed,
+                                    "dispositions": p.dispositions,
+                                    "outcomes": p.outcomes,
+                                    "silent_lines": list(p.silent_lines),
+                                    "trials": p.trials,
+                                    "recovery_ns": p.recovery_ns,
+                                }
+                                for p in cell.points
+                            ],
                         }
-                        for p in result.points
+                        for (scheme_label, profile_name), cell in sorted(matrix.cells.items())
                     ],
                 },
                 indent=2,
             )
         )
         print(f"saved: {args.json}")
-    if result.silent_corruptions:
-        print(f"FAIL: {result.silent_corruptions} silent corruption(s)")
+    if matrix.silent_corruptions:
+        print(f"FAIL: {matrix.silent_corruptions} silent corruption(s)")
     else:
-        print("OK: every crash point detected or recovered")
-    return result.silent_corruptions
+        print("OK: every cell's crash points detected or recovered")
+    return matrix.silent_corruptions
 
 
 _COMMANDS = {
@@ -198,14 +254,31 @@ def main(argv: Optional[list] = None) -> int:
     sweep.add_argument("--workload", type=str, default="DAX-3", help="workload to crash-sweep")
     sweep.add_argument("--points", type=int, default=8, help="max crash points to sample")
     sweep.add_argument("--seed", type=int, default=0xC0FFEE, help="sweep / fault-plan seed")
-    sweep.add_argument("--scheme", type=str, default="fsencr", help="scheme under test")
     sweep.add_argument(
-        "--drain-fraction", type=float, default=0.5, help="fraction of the WPQ the ADR drains"
+        "--scheme",
+        type=str,
+        default="all",
+        help="matrix column: fsencr, baseline_secure, fsencr+wpq, or all",
     )
     sweep.add_argument(
-        "--torn-prob", type=float, default=0.5, help="torn-write probability per undrained line"
+        "--profile",
+        type=str,
+        default="all",
+        help="fault profile: mixed, torn-burst, counter-flips, all, or custom",
     )
-    sweep.add_argument("--bit-flips", type=int, default=0, help="media bit flips per crash")
+    sweep.add_argument(
+        "--drain-fraction", type=float, default=None, help="fraction of the WPQ the ADR drains"
+    )
+    sweep.add_argument(
+        "--torn-prob", type=float, default=None, help="torn-write probability per undrained line"
+    )
+    sweep.add_argument(
+        "--torn-burst", type=int, default=None, help="max contiguous lines one tear event takes down"
+    )
+    sweep.add_argument("--bit-flips", type=int, default=None, help="media bit flips per crash")
+    sweep.add_argument(
+        "--counter-flips", type=int, default=None, help="media bit flips in security metadata per crash"
+    )
     args = parser.parse_args(argv)
     rc = _COMMANDS[args.command](args)
     return int(rc or 0)

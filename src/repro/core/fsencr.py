@@ -68,9 +68,11 @@ class FsEncrController(BaselineSecureController):
             stats=stats or StatCounters("fsencr_controller"),
         )
         # `ott or ...` would discard an injected *empty* table (it has
-        # __len__); compare against None explicitly.
-        self.ott = ott if ott is not None else OpenTunnelTable()
-        self.ott_region = EncryptedOTTRegion(
+        # __len__); compare against None explicitly.  Machine injects a
+        # registered table; the region's bundle is registered
+        # post-construction.
+        self.ott = ott if ott is not None else OpenTunnelTable()  # repro-lint: disable=stats-registered
+        self.ott_region = EncryptedOTTRegion(  # repro-lint: disable=stats-registered
             slots=self.layout.ott_slots, ott_key=self.keys.ott_key
         )
         self.fecb = FECBStore()
@@ -82,6 +84,19 @@ class FsEncrController(BaselineSecureController):
         # journal: {page: (group_id, file_id, major, minors)} as a
         # post-crash reader of the FECB region would see it.
         self._persisted_fecb: Dict[int, Tuple[int, int, int, Tuple[int, ...]]] = {}
+        # Slots whose sealed record failed its tag during the last OTT
+        # recovery scan — media faults detected, keys *not* trusted.
+        self.ott_rejected_slots = 0
+        for key in (
+            "osiris_fecb_persists",
+            "overflow_fecb_persists",
+            "ott_refills",
+            "ott_spills",
+            "fecb_stamps",
+            "keys_installed",
+            "ott_recovery_rejects",
+        ):
+            self.stats.add(key, 0)
 
     # ==================================================================
     # MMIOTarget — the kernel-facing management verbs (§III-F-1)
@@ -422,10 +437,14 @@ class FsEncrController(BaselineSecureController):
     def recover_ott_after_crash(self) -> int:
         """Rebuild the on-chip OTT from the encrypted region.
 
-        Returns the number of keys recovered.  Tag-failing records are
-        skipped (and counted) rather than trusted.
+        Returns the number of keys recovered.  Tag-failing records
+        (a flipped bit anywhere in the sealed record trips the tag) are
+        skipped and counted in ``ott_rejected_slots`` rather than
+        trusted — a poisoned slot means the key is *unavailable*, which
+        downstream turns every dependent line into an explicit failure.
         """
         recovered = 0
+        self.ott_rejected_slots = 0
         # The table object survives (its geometry and stats are hardware
         # properties); only the volatile SRAM contents are rebuilt.
         self.ott.reset()
@@ -437,5 +456,8 @@ class FsEncrController(BaselineSecureController):
             if entry is not None:
                 self.ott.insert(entry)
                 recovered += 1
+            else:
+                self.ott_rejected_slots += 1
+                self.stats.add("ott_recovery_rejects")
         self.stats.add("ott_recoveries")
         return recovered

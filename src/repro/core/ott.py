@@ -279,5 +279,19 @@ class EncryptedOTTRegion:
         sealed[flip_byte] ^= 0xFF
         self._lines[slot] = bytes(sealed)
 
+    def flip_bit(self, slot: int, bit: int) -> None:
+        """Media fault: flip one bit of a sealed record in place.
+
+        The record's tag then fails on the next unseal — the fault is
+        *detected*, the key is reported unavailable, never garbage.
+        """
+        sealed = bytearray(self._lines[slot])
+        sealed[bit // 8] ^= 1 << (bit % 8)
+        self._lines[slot] = bytes(sealed)
+
+    def occupied_slots(self) -> "List[int]":
+        """Slots currently holding a sealed record (media-fault targets)."""
+        return sorted(self._lines)
+
     def __len__(self) -> int:
         return len(self._lines)

@@ -25,21 +25,24 @@ from .lifecycle import (
     DISPOSITION_TORN,
     CrashReport,
     LineFate,
+    MetadataFlip,
     RecoveryReport,
     crash_machine,
     reboot_machine,
 )
-from .plan import TEAR_BYTES, FaultPlan
+from .plan import FAULT_PROFILES, TEAR_BYTES, FaultPlan
 
 __all__ = [
     "TEAR_BYTES",
     "FaultPlan",
+    "FAULT_PROFILES",
     "CrashDomain",
     "LineWrite",
     "DISPOSITION_DRAINED",
     "DISPOSITION_DROPPED",
     "DISPOSITION_TORN",
     "LineFate",
+    "MetadataFlip",
     "CrashReport",
     "RecoveryReport",
     "crash_machine",

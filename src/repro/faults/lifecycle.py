@@ -48,6 +48,7 @@ __all__ = [
     "DISPOSITION_DROPPED",
     "DISPOSITION_TORN",
     "LineFate",
+    "MetadataFlip",
     "CrashReport",
     "RecoveryReport",
     "crash_machine",
@@ -73,6 +74,23 @@ class LineFate:
 
 
 @dataclass(frozen=True)
+class MetadataFlip:
+    """One media fault landed in a security-metadata region.
+
+    ``region`` names where it hit — ``mecb``/``fecb`` (the persisted
+    counter journal for one page), ``ott`` (a sealed spill-region
+    record), or ``merkle`` (a stored tree node).  ``where`` is the
+    page, slot, or (level, index); ``field`` says which value within
+    the target the ``bit`` landed in.
+    """
+
+    region: str
+    where: object
+    field: str
+    bit: int
+
+
+@dataclass(frozen=True)
 class CrashReport:
     """Everything the crash injected, for the sweep's oracle."""
 
@@ -84,6 +102,10 @@ class CrashReport:
     bit_flips: Tuple[Tuple[int, int], ...]  # (addr, bit)
     wpq_entries_lost: int
     line_fates: Dict[int, LineFate]
+    #: Number of tear *events*; with ``plan.torn_burst > 1`` one event
+    #: can take several contiguous in-flight lines down together.
+    torn_bursts: int = 0
+    metadata_flips: Tuple[MetadataFlip, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -100,6 +122,12 @@ class RecoveryReport:
     ott_keys_recovered: int
     merkle_leaves_rebuilt: int
     recovery_ns: float
+    #: Stored Merkle nodes whose digest failed the pre-install
+    #: integrity scan (media faults in node storage, or a protected
+    #: leaf region — e.g. an OTT slot — that no longer matches its node).
+    merkle_nodes_poisoned: int = 0
+    #: OTT spill records whose tag failed during the recovery scan.
+    ott_slots_rejected: int = 0
 
 
 # ======================================================================
@@ -149,6 +177,83 @@ def _drop_volatile_state(machine) -> None:
         machine.overlay.page_cache.drop_all()
 
 
+def _metadata_flip_targets(controller) -> List[Tuple[str, object]]:
+    """Every metadata location a ``counter_flips`` fault can land in.
+
+    Deterministically ordered: persisted MECB pages, persisted FECB
+    pages (file schemes only), occupied OTT spill slots, stored Merkle
+    nodes.  Schemes without a layer simply expose no targets for it.
+    """
+    targets: List[Tuple[str, object]] = []
+    for page in sorted(getattr(controller, "_persisted_mecb", {})):
+        targets.append(("mecb", page))
+    for page in sorted(getattr(controller, "_persisted_fecb", {})):
+        targets.append(("fecb", page))
+    region = getattr(controller, "ott_region", None)
+    if region is not None:
+        for slot in region.occupied_slots():
+            targets.append(("ott", slot))
+    merkle = getattr(controller, "merkle", None)
+    if merkle is not None:
+        for node in merkle.stored_nodes():
+            targets.append(("merkle", node))
+    return targets
+
+
+# Sealed OTT records are 48 bytes (EncryptedOTTRegion.RECORD_BYTES);
+# stored Merkle nodes are 32-byte SHA-256 digests.  Kept as local
+# constants so repro.faults stays import-light.
+_OTT_RECORD_BITS = 48 * 8
+_MERKLE_DIGEST_BITS = 32 * 8
+
+
+def _apply_metadata_flip(controller, region: str, where, rng) -> MetadataFlip:
+    """Land one bit flip in the chosen metadata target."""
+    if region == "mecb":
+        major, minors = controller._persisted_mecb[where]
+        minors = list(minors)
+        if rng.random() < 0.125:
+            bit = rng.randrange(8)
+            major ^= 1 << bit
+            field = "major"
+        else:
+            line = rng.randrange(len(minors))
+            bit = rng.randrange(MINOR_BITS)
+            minors[line] ^= 1 << bit
+            field = f"minor[{line}]"
+        controller._persisted_mecb[where] = (major, tuple(minors))
+        return MetadataFlip(region="mecb", where=where, field=field, bit=bit)
+    if region == "fecb":
+        gid, fid, major, minors = controller._persisted_fecb[where]
+        minors = list(minors)
+        roll = rng.random()
+        if roll < 0.125:
+            bit = rng.randrange(8)
+            gid ^= 1 << bit
+            field = "group_id"
+        elif roll < 0.25:
+            bit = rng.randrange(8)
+            fid ^= 1 << bit
+            field = "file_id"
+        else:
+            line = rng.randrange(len(minors))
+            bit = rng.randrange(MINOR_BITS)
+            minors[line] ^= 1 << bit
+            field = f"minor[{line}]"
+        controller._persisted_fecb[where] = (gid, fid, major, tuple(minors))
+        return MetadataFlip(region="fecb", where=where, field=field, bit=bit)
+    if region == "ott":
+        bit = rng.randrange(_OTT_RECORD_BITS)
+        controller.ott_region.flip_bit(where, bit)
+        return MetadataFlip(region="ott", where=where, field="sealed_record", bit=bit)
+    if region == "merkle":
+        level, index = where
+        bit = rng.randrange(_MERKLE_DIGEST_BITS)
+        controller.merkle.flip_node_bit(level, index, bit)
+        return MetadataFlip(region="merkle", where=where, field="node_digest", bit=bit)
+    raise ValueError(f"unknown metadata flip region {region!r}")
+
+
 def crash_machine(machine, plan: FaultPlan) -> CrashReport:
     """Apply ``plan`` to ``machine`` at the current instant."""
     rng = plan.rng()
@@ -157,7 +262,8 @@ def crash_machine(machine, plan: FaultPlan) -> CrashReport:
     domain = getattr(controller, "crash_domain", None)
 
     fates: Dict[int, LineFate] = {}
-    drained = dropped = torn = 0
+    drained = dropped = torn = torn_bursts = 0
+    burst_left = 0
     entries = domain.inflight() if domain is not None else []
     # The queue drains oldest-first; the ADR energy budget decides how
     # deep into the tail the drain gets before the rest is at risk.
@@ -166,7 +272,19 @@ def crash_machine(machine, plan: FaultPlan) -> CrashReport:
         if position < drain_upto:
             drained += 1
             disposition = DISPOSITION_DRAINED
+        elif burst_left > 0:
+            # A tear event in progress takes this line down with it.
+            burst_left -= 1
+            torn += 1
+            disposition = DISPOSITION_TORN
+            _tear_line(store, write, rng)
         elif rng.random() < plan.torn_probability:
+            # New tear event; with torn_burst > 1 it collapses a
+            # contiguous run of the in-flight tail (the supply sags for
+            # many cycles, not one device word).
+            if plan.torn_burst > 1:
+                burst_left = rng.randint(1, plan.torn_burst) - 1
+            torn_bursts += 1
             torn += 1
             disposition = DISPOSITION_TORN
             _tear_line(store, write, rng)
@@ -194,6 +312,14 @@ def crash_machine(machine, plan: FaultPlan) -> CrashReport:
                 store.flip_bit(addr, bit)
                 flips.append((addr, bit))
 
+    meta_flips: List[MetadataFlip] = []
+    if plan.counter_flips:
+        targets = _metadata_flip_targets(controller)
+        if targets:
+            for _ in range(plan.counter_flips):
+                region, where = targets[rng.randrange(len(targets))]
+                meta_flips.append(_apply_metadata_flip(controller, region, where, rng))
+
     wpq_lost = 0
     if machine.wpq is not None:
         _, wpq_lost = machine.wpq.crash_drain(machine.clock_ns, plan.drain_fraction)
@@ -208,6 +334,8 @@ def crash_machine(machine, plan: FaultPlan) -> CrashReport:
         bit_flips=tuple(flips),
         wpq_entries_lost=wpq_lost,
         line_fates=fates,
+        torn_bursts=torn_bursts,
+        metadata_flips=tuple(meta_flips),
     )
 
 
@@ -323,6 +451,22 @@ def reboot_machine(machine) -> RecoveryReport:
     journal_mecb = dict(getattr(controller, "_persisted_mecb", {}))
     journal_fecb = dict(getattr(controller, "_persisted_fecb", {}))
 
+    # -- 0. integrity scan of the stored Merkle nodes -------------------
+    # Must run before any recovered state is installed: leaf content
+    # still matches what the stored digests were computed over, so a
+    # mismatch here is media damage, never a legitimate recovery delta.
+    nodes_poisoned = 0
+    merkle = getattr(controller, "merkle", None)
+    if merkle is not None:
+        for level, index in merkle.stored_nodes():
+            recovery_ns += controller.device.read(
+                controller.layout.merkle_node_addr(level, index)
+            )
+        poisoned = merkle.flag_poisoned_nodes()
+        nodes_poisoned = len(poisoned)
+        if nodes_poisoned:
+            controller.stats.add("merkle_poisoned_nodes", nodes_poisoned)
+
     # -- 1. OTT: scan the encrypted spill region (one read per slot) ----
     if hasattr(controller, "recover_ott_after_crash"):
         ott_recovered = controller.recover_ott_after_crash()
@@ -382,9 +526,7 @@ def reboot_machine(machine) -> RecoveryReport:
                     new_shadow[addr] = found[2]
                     lines_recovered += 1
                 else:
-                    def decrypt(candidate: int) -> Optional[bytes]:
-                        if candidate >= _MINOR_LIMIT:
-                            return None  # out of IV range: cannot be the true counter
+                    def decrypt(candidate: int) -> bytes:
                         return _memory_trial(
                             controller, cipher, page, line_index, mem_major, candidate
                         )
@@ -393,11 +535,19 @@ def reboot_machine(machine) -> RecoveryReport:
                         result = osiris_recovery.recover_counter(
                             mem_minors[line_index],
                             decrypt,
-                            lambda pt: pt is not None and check_line(pt, ecc),
+                            lambda pt: check_line(pt, ecc),
+                            ceiling=_MINOR_LIMIT - 1,
                         )
                     except CounterRecoveryError:
-                        trials_total += cconf.stop_loss + 1
-                        recovery_ns += (cconf.stop_loss + 1) * trial_cost_ns
+                        # Only in-range candidates were tried; a flipped
+                        # persisted minor near the top of the field leaves
+                        # a clipped (possibly empty) window.
+                        window = min(
+                            cconf.stop_loss + 1,
+                            max(0, _MINOR_LIMIT - mem_minors[line_index]),
+                        )
+                        trials_total += window
+                        recovery_ns += window * trial_cost_ns
                         failed.append(addr)
                         continue
                     trials_total += result.trials
@@ -449,4 +599,6 @@ def reboot_machine(machine) -> RecoveryReport:
         ott_keys_recovered=ott_recovered,
         merkle_leaves_rebuilt=leaves,
         recovery_ns=recovery_ns,
+        merkle_nodes_poisoned=nodes_poisoned,
+        ott_slots_rejected=getattr(controller, "ott_rejected_slots", 0),
     )

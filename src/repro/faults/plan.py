@@ -11,14 +11,33 @@ the same crash, byte for byte.
 
 ``derive(index)`` gives each crash point of a sweep its own independent
 stream while keeping the whole sweep a pure function of one seed.
+
+The fault vocabulary covers four hardware misbehaviours:
+
+* **partial drain** (``drain_fraction``) — the ADR energy budget dies
+  part-way through the write tail;
+* **torn writes** (``torn_probability``) — an undrained line lands as a
+  per-device-word mix of old and new;
+* **torn bursts** (``torn_burst``) — a tear takes a *contiguous run* of
+  in-flight lines down together, modelling a burst-granular ADR
+  collapse (the supply sags for many cycles, not one word);
+* **media faults** — bit flips in stored state after the dust settles:
+  ``bit_flips`` land in data ciphertext, ``counter_flips`` land in the
+  security-metadata regions (persisted MECB/FECB counter lines, the
+  encrypted OTT spill region, stored Merkle nodes) — exactly the faults
+  Huang & Hua show encrypted-NVM recovery schemes silently diverge on.
+
+``FAULT_PROFILES`` names the standard plans the scheme-matrix sweep
+(``repro.faults.sweep.sweep_matrix``) runs every scheme under.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, replace
+from typing import Dict
 
-__all__ = ["TEAR_BYTES", "FaultPlan"]
+__all__ = ["TEAR_BYTES", "FaultPlan", "FAULT_PROFILES"]
 
 # Torn-write granularity.  NVDIMM media writes 8-byte (64-bit data +
 # ECC) device words atomically; a torn 64-byte line is therefore a
@@ -35,22 +54,39 @@ class FaultPlan:
       write persists; 0.0 = total supply collapse, nothing drains).
     * ``torn_probability`` — chance that each *undrained* write lands
       torn (old/new mixed per device word) instead of cleanly dropped.
+    * ``torn_burst`` — maximum length of one tear event: a tear takes
+      up to this many *contiguous* in-flight lines down together
+      (length sampled uniformly per event).  1 = independent
+      single-line tears, the classic model.
     * ``bit_flips`` — media faults: ciphertext bits flipped in stored
-      lines after the dust settles (failing PCM cells, §VI endurance).
+      data lines after the dust settles (failing PCM cells, §VI
+      endurance).
+    * ``counter_flips`` — media faults landing in the security-metadata
+      regions instead of data: persisted MECB/FECB counter values, the
+      encrypted OTT spill region, or stored Merkle nodes.  Recovery
+      must detect-or-recover each one — Osiris trial decryption for
+      counters, the record tag for OTT slots, the integrity scan for
+      Merkle nodes.
     """
 
     seed: int = 0xFA01
     drain_fraction: float = 1.0
     torn_probability: float = 0.5
+    torn_burst: int = 1
     bit_flips: int = 0
+    counter_flips: int = 0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.drain_fraction <= 1.0:
             raise ValueError(f"drain_fraction {self.drain_fraction} not in [0, 1]")
         if not 0.0 <= self.torn_probability <= 1.0:
             raise ValueError(f"torn_probability {self.torn_probability} not in [0, 1]")
+        if self.torn_burst < 1:
+            raise ValueError("torn_burst must be >= 1")
         if self.bit_flips < 0:
             raise ValueError("bit_flips must be >= 0")
+        if self.counter_flips < 0:
+            raise ValueError("counter_flips must be >= 0")
 
     def rng(self) -> random.Random:
         """The plan's private, reproducible randomness stream."""
@@ -59,3 +95,28 @@ class FaultPlan:
     def derive(self, index: int) -> "FaultPlan":
         """An independent sub-plan for crash point ``index`` of a sweep."""
         return replace(self, seed=(self.seed * 1000003 + index) & 0xFFFFFFFF)
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """The same fault distribution under a different seed."""
+        return replace(self, seed=seed)
+
+
+#: The standard fault profiles of the scheme-matrix sweep.  Each one
+#: stresses a different recovery path; together they cover the paper's
+#: crash-consistency claim along every axis the model injects.
+FAULT_PROFILES: Dict[str, FaultPlan] = {
+    # Partial drain + independent tears + one data-media flip: the
+    # original mixed profile, every disposition exercised at once.
+    "mixed": FaultPlan(drain_fraction=0.5, torn_probability=0.5, bit_flips=1),
+    # Burst-granular ADR collapse: little drains, and tears take
+    # contiguous runs of the in-flight tail down together.
+    "torn-burst": FaultPlan(
+        drain_fraction=0.25, torn_probability=0.75, torn_burst=4
+    ),
+    # Metadata-region media faults: flips land in persisted counters,
+    # the OTT spill region, and stored Merkle nodes — the faults that
+    # distinguish detect-or-recover schemes from silently-wrong ones.
+    "counter-flips": FaultPlan(
+        drain_fraction=0.75, torn_probability=0.25, counter_flips=2
+    ),
+}

@@ -50,7 +50,7 @@ from ..sim.config import MachineConfig, Scheme
 from ..sim.machine import Machine
 from ..sim.trace import TraceRecorder
 from .lifecycle import CrashReport, RecoveryReport
-from .plan import FaultPlan
+from .plan import FAULT_PROFILES, FaultPlan
 
 __all__ = [
     "OUTCOME_RECOVERED_NEW",
@@ -59,8 +59,11 @@ __all__ = [
     "OUTCOME_SILENT",
     "CrashPointResult",
     "SweepResult",
+    "MatrixResult",
     "workload_factory",
     "sweep_workload",
+    "matrix_configs",
+    "sweep_matrix",
 ]
 
 OUTCOME_RECOVERED_NEW = "recovered_new"
@@ -303,6 +306,8 @@ def sweep_workload(
                     "drained": crash_report.drained,
                     "dropped": crash_report.dropped,
                     "torn": crash_report.torn,
+                    "torn_bursts": crash_report.torn_bursts,
+                    "metadata_flips": len(crash_report.metadata_flips),
                 },
                 outcomes=outcomes,
                 silent_lines=tuple(silent),
@@ -311,4 +316,109 @@ def sweep_workload(
                 recovered_keys=recovery_report.ott_keys_recovered,
             )
         )
+    return result
+
+
+# ----------------------------------------------------------------------
+# The (scheme x fault-profile) matrix
+# ----------------------------------------------------------------------
+
+#: Scheme columns of the matrix.  The crash-consistency claim is
+#: universal over the *secure* configurations: FsEncr, the baseline it
+#: is measured against, and FsEncr with the explicit WPQ model (whose
+#: burst-drain path exercises a different in-flight tail shape).
+MATRIX_SCHEME_LABELS = ("fsencr", "baseline_secure", "fsencr+wpq")
+
+
+def matrix_configs(base: Optional[MachineConfig] = None) -> List[Tuple[str, MachineConfig]]:
+    """The matrix's scheme columns derived from one base config."""
+    base = base or MachineConfig()
+    return [
+        ("fsencr", base.with_scheme(Scheme.FSENCR).with_wpq(False)),
+        ("baseline_secure", base.with_scheme(Scheme.BASELINE_SECURE).with_wpq(False)),
+        ("fsencr+wpq", base.with_scheme(Scheme.FSENCR).with_wpq(True)),
+    ]
+
+
+@dataclass
+class MatrixResult:
+    """One :class:`SweepResult` per (scheme, fault-profile) cell."""
+
+    workload: str
+    seed: int
+    cells: Dict[Tuple[str, str], SweepResult] = field(default_factory=dict)
+
+    @property
+    def silent_corruptions(self) -> int:
+        return sum(cell.silent_corruptions for cell in self.cells.values())
+
+    def assert_invariant(self) -> None:
+        """Every cell's silent bucket is empty — the universal claim."""
+        offenders = [
+            f"{scheme}/{profile}: {cell.silent_corruptions}"
+            for (scheme, profile), cell in sorted(self.cells.items())
+            if cell.silent_corruptions
+        ]
+        if offenders:
+            raise AssertionError(
+                "silent corruption in matrix cell(s): " + "; ".join(offenders)
+            )
+
+    def summary(self) -> str:
+        """One aligned row per cell, totals last."""
+        lines = [f"{self.workload} seed={self.seed:#x}"]
+        width = max(
+            (len(f"{s}/{p}") for s, p in self.cells), default=0
+        )
+        for (scheme, profile), cell in sorted(self.cells.items()):
+            totals = cell.outcome_totals()
+            lines.append(
+                f"  {f'{scheme}/{profile}':<{width}}  "
+                f"points={len(cell.points)} "
+                + " ".join(
+                    f"{name}={totals.get(name, 0)}"
+                    for name in (
+                        OUTCOME_RECOVERED_NEW, OUTCOME_RECOVERED_OLD,
+                        OUTCOME_DETECTED, OUTCOME_SILENT,
+                    )
+                )
+            )
+        lines.append(f"  total silent={self.silent_corruptions}")
+        return "\n".join(lines)
+
+
+def sweep_matrix(
+    factory: Callable[[], object],
+    base_config: Optional[MachineConfig] = None,
+    *,
+    profiles: Optional[Dict[str, FaultPlan]] = None,
+    schemes: Optional[List[Tuple[str, MachineConfig]]] = None,
+    max_points: int = 8,
+    seed: int = 0xC0FFEE,
+    name: str = "",
+) -> MatrixResult:
+    """Run the full (scheme x fault-profile) crash-sweep matrix.
+
+    Each cell is an independent :func:`sweep_workload` call; the cell's
+    plan is the profile re-seeded with the sweep seed so two cells with
+    the same profile still derive distinct per-point plans from their
+    own boundary indices, while the whole matrix stays a pure function
+    of (workload, base config, seed).
+    """
+    profiles = profiles if profiles is not None else dict(FAULT_PROFILES)
+    schemes = schemes if schemes is not None else matrix_configs(base_config)
+    result = MatrixResult(workload=name or "matrix", seed=seed)
+    for scheme_label, config in schemes:
+        for profile_name, profile in sorted(profiles.items()):
+            cell = sweep_workload(
+                factory,
+                config,
+                plan=profile.with_seed(seed),
+                max_points=max_points,
+                seed=seed,
+                name=name,
+            )
+            result.cells[(scheme_label, profile_name)] = cell
+            if not result.workload or result.workload == "matrix":
+                result.workload = cell.workload
     return result

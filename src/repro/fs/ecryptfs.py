@@ -50,6 +50,8 @@ class SoftwareEncryptionOverlay:
         conventional-filesystem reference of Figure 1(a)."""
         self.device = device
         self.costs = costs or SoftwareCosts()
+        # Standalone fallback; Machine injects a cache with a registered bundle.
+        # repro-lint: disable=stats-registered
         self.page_cache = page_cache or PageCache(PageCacheConfig())
         self.stats = stats or StatCounters("sw_encryption")
         self.encrypted = encrypted

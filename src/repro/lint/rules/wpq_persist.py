@@ -10,6 +10,11 @@ timing at once, producing results that silently disagree with the
 crash-consistency model.  Outside the controller layers this rule flags:
 
 * calls to ``*.write_line(...)`` (the ``NVMStore`` raw write);
+* calls to ``*.read_line(...)`` — a raw ciphertext read outside the
+  controllers bypasses decryption, Merkle verification and the read
+  timing path, so "read" results silently skip the model's latency and
+  integrity machinery (legitimate attacker-view reads carry an inline
+  suppression);
 * subscript assignment into a ``._lines`` backing dict;
 * direct ``device.write(...)`` / ``nvm.write(...)`` timing calls that
   skip the controller.
@@ -45,6 +50,14 @@ class PersistThroughWpq(Rule):
                         node,
                         "raw NVMStore.write_line outside the controller layer bypasses "
                         "encryption counters and the WPQ; go through the memory controller",
+                    )
+                elif attr == "read_line":
+                    yield self.finding(
+                        src,
+                        node,
+                        "raw NVMStore.read_line outside the controller layer bypasses "
+                        "decryption, integrity verification and read timing; use "
+                        "controller.read_data or Machine.load",
                     )
                 elif attr == "write":
                     chain = attr_chain(node.func) or []

@@ -29,6 +29,22 @@ class StatCounters:
     def get(self, key: str) -> int:
         return self.counters.get(key, 0)
 
+    def stat(self, key: str) -> int:
+        """Strict lookup: raises on a counter this bundle never declared.
+
+        Use from benchmarks and analysis code, where a silently-zero
+        read of a renamed counter would fabricate a result; ``get``
+        remains for hot-path model code probing optional counters.
+        """
+        # Counter.__getitem__ returns 0 for absent keys, so membership
+        # must be checked explicitly for the lookup to be strict.
+        if key not in self.counters:
+            known = ", ".join(sorted(self.counters)) or "<none>"
+            raise KeyError(
+                f"unknown stat {key!r} in bundle {self.name!r} (known: {known})"
+            )
+        return self.counters[key]
+
     def merge(self, other: "StatCounters") -> None:
         self.counters.update(other.counters)
 

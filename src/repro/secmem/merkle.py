@@ -175,6 +175,48 @@ class BonsaiMerkleTree:
             self.stats.add("mismatches")
             raise IntegrityError(f"root mismatch verifying {metadata_addr:#x}")
 
+    # -- fault injection and post-crash integrity scan --------------------------
+
+    def stored_nodes(self) -> List["tuple[int, int]"]:
+        """(level, index) of every materialised internal node — the
+        node digests that live in the NVM metadata region and therefore
+        survive a crash (and are exposed to media faults)."""
+        return sorted(self._nodes)
+
+    def flip_node_bit(self, level: int, index: int, bit: int) -> None:
+        """Media fault: flip one bit of a stored node digest in place."""
+        digest = self._nodes.get((level, index))
+        if digest is None:
+            raise KeyError(f"no stored node at level={level} index={index}")
+        corrupted = bytearray(digest)
+        corrupted[bit // 8] ^= 1 << (bit % 8)
+        self._nodes[(level, index)] = bytes(corrupted)
+
+    def flag_poisoned_nodes(self) -> List["tuple[int, int]"]:
+        """Scan every stored node against a recompute from its children.
+
+        The reboot path calls this *before* recovered counters are
+        installed, while leaf content still matches what the stored
+        level-0 digests were computed over — so any mismatch is media
+        damage (or tampering) in the node storage itself, never a
+        legitimate recovery delta.  The top stored node is additionally
+        checked against the on-chip root, which survives power loss
+        inside the processor.  Returns the poisoned (level, index) list.
+        """
+        poisoned: List["tuple[int, int]"] = []
+        for (level, index) in self.stored_nodes():
+            recomputed = hashlib.sha256(
+                b"".join(self._child_digests(level, index))
+            ).digest()
+            if recomputed != self._nodes[(level, index)]:
+                poisoned.append((level, index))
+        top = (self.num_levels - 1, 0)
+        if top in self._nodes and self._nodes[top] != self._root and top not in poisoned:
+            poisoned.append(top)
+        if poisoned:
+            self.stats.add("poisoned_nodes", len(poisoned))
+        return poisoned
+
     def rebuild_root(self) -> bytes:
         """Recompute every stored node bottom-up (crash recovery path).
 

@@ -60,7 +60,10 @@ class MetadataCache:
         self.stats = stats or StatCounters("metadata_cache")
         if self.config.partitioned:
             slice_bytes = self.config.size_bytes // len(MetadataKind.ALL)
+            # Internal structural caches: hits/misses/evictions are
+            # accounted per-kind on this MetadataCache's own bundle.
             self._caches: Dict[str, SetAssociativeCache] = {
+                # repro-lint: disable=stats-registered
                 kind: SetAssociativeCache(
                     CacheConfig(
                         name=f"metadata_{kind}",
@@ -73,6 +76,8 @@ class MetadataCache:
                 for kind in MetadataKind.ALL
             }
         else:
+            # Internal structural cache — same accounting as above.
+            # repro-lint: disable=stats-registered
             shared = SetAssociativeCache(
                 CacheConfig(
                     name="metadata_shared",

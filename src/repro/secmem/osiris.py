@@ -108,17 +108,32 @@ class OsirisRecovery:
         persisted_value: int,
         decrypt_with: Callable[[int], bytes],
         ecc_ok: Callable[[bytes], bool],
+        ceiling: Optional[int] = None,
     ) -> RecoveryResult:
-        """Find the true counter within [persisted, persisted + stop_loss]."""
+        """Find the true counter within [persisted, persisted + stop_loss].
+
+        ``ceiling`` clips the window to the counter field's width: a
+        candidate above it can never be a real counter value (the minor
+        would have overflowed and re-encrypted the page first), so the
+        search stops there.  This is what makes a *flipped* persisted
+        counter safe — a flip landing near the top of the field leaves
+        few (or zero) legal candidates, and an exhausted window is an
+        explicit :class:`CounterRecoveryError`, never a silent accept.
+        """
+        trials = 0
         for offset in range(self.stop_loss + 1):
             candidate = persisted_value + offset
+            if ceiling is not None and candidate > ceiling:
+                break
+            trials += 1
             plaintext = decrypt_with(candidate)
             self.stats.add("trials")
             if ecc_ok(plaintext):
                 self.stats.add("recovered")
-                return RecoveryResult(recovered_value=candidate, trials=offset + 1)
+                return RecoveryResult(recovered_value=candidate, trials=trials)
         self.stats.add("failures")
         raise CounterRecoveryError(
             f"no counter in [{persisted_value}, {persisted_value + self.stop_loss}] "
+            f"{'(clipped to ' + str(ceiling) + ') ' if ceiling is not None else ''}"
             "satisfied the ECC check"
         )

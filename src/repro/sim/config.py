@@ -177,6 +177,11 @@ class MachineConfig:
         idiom every benchmark uses."""
         return self._replace(scheme=scheme)
 
+    def with_wpq(self, enabled: bool = True) -> "MachineConfig":
+        """The same machine with the explicit Write Pending Queue model
+        toggled — the crash-sweep matrix's burst-sensitive column."""
+        return self._replace(model_wpq=enabled)
+
     def with_metadata_cache(self, size_bytes: int) -> "MachineConfig":
         """Figure 15's sweep knob."""
         return self._replace(

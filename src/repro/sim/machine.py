@@ -40,6 +40,7 @@ from ..kernel.costs import SoftwareCosts
 from ..kernel.keyring import Keyring
 from ..kernel.mmio import MMIORegisters
 from ..kernel.mmu import MMU
+from ..kernel.tlb import TLB
 from ..kernel.page_cache import PageCache, PageCacheConfig
 from ..mem.address import LINE_SIZE, PAGE_SIZE, line_address
 from ..mem.controller import MemoryRequest, PlainMemoryController
@@ -213,7 +214,11 @@ class Machine:
     _CONTEXT_SWITCH_NS = 1200.0  # trap + scheduler + register state
 
     def _create_process_context(self, pid: int) -> ProcessContext:
-        mmu = MMU(stats=self.registry.create(f"mmu" if pid == 0 else f"mmu_p{pid}"))
+        suffix = "" if pid == 0 else f"_p{pid}"
+        mmu = MMU(
+            tlb=TLB(stats=self.registry.create(f"tlb{suffix}")),
+            stats=self.registry.create(f"mmu{suffix}"),
+        )
         mmu.set_fault_handler(self._handle_fault)
         context = ProcessContext(pid=pid, mmu=mmu, regions=[])
         self._processes[pid] = context
@@ -386,14 +391,25 @@ class Machine:
     def fence(self) -> None:
         self.clock_ns += _FENCE_NS
 
+    def _check_alive(self) -> None:
+        """A crashed machine has no power: every access until
+        ``reboot()`` is a modelling error, not a zero-latency no-op."""
+        if self._crashed:
+            raise RuntimeError(
+                "machine is crashed; reboot() before issuing accesses"
+            )
+
     def load(self, vaddr: int, size: int = 8) -> None:
+        self._check_alive()
         self._access_range(vaddr, size, is_write=False)
 
     def store(self, vaddr: int, size: int = 8) -> None:
+        self._check_alive()
         self._access_range(vaddr, size, is_write=True)
 
     def persist(self, vaddr: int, size: int = 8) -> None:
         """store + clwb + sfence over the byte range (the PMDK idiom)."""
+        self._check_alive()
         self._access_range(vaddr, size, is_write=True)
         for line in self._lines_of(vaddr, size):
             self._flush_line(line)
@@ -478,6 +494,7 @@ class Machine:
         Line-granularity read-modify-write; bypasses the cache hierarchy
         (functional mode is about data correctness, not timing fidelity).
         """
+        self._check_alive()
         offset = 0
         while offset < len(data):
             line_vaddr = line_address(vaddr + offset)
@@ -494,6 +511,7 @@ class Machine:
             offset += len(chunk)
 
     def load_bytes(self, vaddr: int, size: int) -> bytes:
+        self._check_alive()
         result = bytearray()
         offset = 0
         while offset < size:

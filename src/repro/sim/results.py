@@ -26,6 +26,25 @@ class RunResult:
     nvm_writes: int
     stats: Dict[str, float] = field(default_factory=dict)
 
+    def stat(self, key: str) -> float:
+        """Strict stats lookup: raises on an unknown key.
+
+        ``stats.get(key, 0)`` silently reads 0 when a counter is renamed
+        or never registered, which turns a broken benchmark into a
+        plausible-looking figure.  Benchmark-visible counters are
+        eagerly declared by the controllers, so "absent" always means
+        "misspelled or wired to the wrong scheme" — fail loudly.
+        """
+        try:
+            return self.stats[key]
+        except KeyError:
+            prefix = key.rsplit(".", 1)[0]
+            nearby = sorted(k for k in self.stats if k.startswith(prefix + "."))
+            hint = f"; keys under {prefix!r}: {', '.join(nearby)}" if nearby else ""
+            raise KeyError(
+                f"unknown stat {key!r} for {self.workload}/{self.scheme}{hint}"
+            ) from None
+
     def to_dict(self) -> Dict:
         return {
             "workload": self.workload,

@@ -140,6 +140,98 @@ class TestCrashDispositions:
         assert recovery.merkle_leaves_rebuilt > 0
 
 
+class TestExpandedFaultVocabulary:
+    def test_torn_burst_groups_contiguous_lines(self):
+        machine = make_machine()
+        truth = stage_writes(machine, lines=8)
+        crash = machine.crash(
+            FaultPlan(seed=0xB0, drain_fraction=0.0, torn_probability=1.0, torn_burst=4)
+        )
+        assert crash.torn == len(truth)
+        # Bursts group lines: strictly fewer tear events than torn lines.
+        assert 1 <= crash.torn_bursts < crash.torn
+        machine.reboot()
+        for addr, expected in truth.items():
+            got = read_back(machine, addr)
+            if not isinstance(got, bytes):
+                continue  # detected outright
+            ecc = machine.controller.store.read_ecc(addr)
+            if ecc is None or not check_line(got, ecc):
+                continue  # word-mixed line tripped the plaintext ECC
+            fate = crash.line_fates[addr]
+            assert got in (expected, fate.old_plain or bytes(LINE))
+
+    def test_torn_burst_one_means_independent_tears(self):
+        machine = make_machine()
+        truth = stage_writes(machine, lines=4)
+        crash = machine.crash(
+            FaultPlan(seed=0xB1, drain_fraction=0.0, torn_probability=1.0, torn_burst=1)
+        )
+        assert crash.torn == len(truth)
+        assert crash.torn_bursts == crash.torn  # every tear is its own event
+
+    @pytest.mark.parametrize("scheme", [Scheme.FSENCR, Scheme.BASELINE_SECURE])
+    def test_counter_region_flips_detected_or_recovered(self, scheme):
+        config = MachineConfig(scheme=scheme, functional=True)
+        machine = Machine(config)
+        machine.add_user(uid=1000, gid=100, passphrase="pw")
+        truth = stage_writes(machine, lines=4)
+        crash = machine.crash(
+            FaultPlan(seed=0xCF, drain_fraction=1.0, torn_probability=0.0, counter_flips=3)
+        )
+        assert len(crash.metadata_flips) == 3
+        machine.reboot()
+        for addr, expected in truth.items():
+            got = read_back(machine, addr)
+            if isinstance(got, bytes) and got != expected:
+                # Accepted bytes that differ from the only durable
+                # version must fail the plaintext ECC — never silent.
+                ecc = machine.controller.store.read_ecc(addr)
+                assert ecc is None or not check_line(got, ecc)
+
+    def test_merkle_node_flip_is_flagged_poisoned(self):
+        machine = make_machine()
+        stage_writes(machine, lines=2)
+        machine.crash(FaultPlan(drain_fraction=1.0, torn_probability=0.0))
+        level, index = machine.controller.merkle.stored_nodes()[0]
+        machine.controller.merkle.flip_node_bit(level, index, bit=5)
+        recovery = machine.reboot()
+        assert recovery.merkle_nodes_poisoned >= 1
+        assert machine.controller.stats.get("merkle_poisoned_nodes") >= 1
+
+    def test_ott_slot_flip_rejects_key_not_garbage(self):
+        machine = make_machine()
+        stage_writes(machine, lines=2, encrypted=True)
+        machine.crash(FaultPlan(drain_fraction=1.0, torn_probability=0.0))
+        slot = machine.controller.ott_region.occupied_slots()[0]
+        machine.controller.ott_region.flip_bit(slot, bit=17)
+        recovery = machine.reboot()
+        assert recovery.ott_slots_rejected >= 1
+        assert machine.controller.stats.get("ott_recovery_rejects") >= 1
+
+
+class TestCrashedMachineGuard:
+    def test_accesses_on_crashed_machine_raise(self):
+        machine = make_machine()
+        handle = machine.create_file("/pmem/f", uid=1000, encrypted=True)
+        base = machine.mmap(handle, pages=1)
+        machine.store_bytes(base, b"\x42" * LINE)
+        machine.persist(base, LINE)
+        machine.crash(FaultPlan(drain_fraction=1.0))
+        for access in (
+            lambda: machine.load(base),
+            lambda: machine.store(base),
+            lambda: machine.persist(base, LINE),
+            lambda: machine.store_bytes(base, b"\x43" * LINE),
+            lambda: machine.load_bytes(base, LINE),
+        ):
+            with pytest.raises(RuntimeError, match="crashed"):
+                access()
+        machine.reboot()
+        machine.load(base)  # alive again
+        assert machine.load_bytes(base, LINE) == b"\x42" * LINE
+
+
 class TestLifecycleProtocol:
     def test_reboot_without_crash_raises(self):
         machine = make_machine()

@@ -11,17 +11,20 @@ from __future__ import annotations
 
 import pytest
 
-from repro.faults import FaultPlan
+from repro.faults import FAULT_PROFILES, FaultPlan
 from repro.faults.sweep import (
+    MATRIX_SCHEME_LABELS,
+    MatrixResult,
     OUTCOME_DETECTED,
     OUTCOME_RECOVERED_NEW,
     OUTCOME_SILENT,
     SweepResult,
     CrashPointResult,
+    sweep_matrix,
     sweep_workload,
     workload_factory,
 )
-from repro.sim import MachineConfig, Scheme
+from repro.sim import Machine, MachineConfig, Scheme
 
 PLAN = FaultPlan(seed=0xFA11, drain_fraction=0.5, torn_probability=0.5, bit_flips=1)
 
@@ -61,10 +64,10 @@ class TestInvariant:
         """The invariant is vacuous unless lines were really at risk."""
         assert len(dax_sweep.points) > 0
         assert dax_sweep.boundaries_total >= len(dax_sweep.points)
-        dispositions = {k: 0 for k in ("drained", "dropped", "torn")}
+        dispositions: dict = {}
         for point in dax_sweep.points:
             for kind, count in point.dispositions.items():
-                dispositions[kind] += count
+                dispositions[kind] = dispositions.get(kind, 0) + count
         assert dispositions["drained"] > 0
         assert dispositions["dropped"] + dispositions["torn"] > 0
         totals = dax_sweep.outcome_totals()
@@ -87,6 +90,66 @@ class TestDeterminism:
         seeds = [point.plan_seed for point in dax_sweep.points]
         assert len(set(seeds)) == len(seeds)
         assert all(seed != PLAN.seed for seed in seeds)
+
+
+@pytest.fixture(scope="module")
+def matrix() -> MatrixResult:
+    return sweep_matrix(
+        workload_factory("Fillseq-S", ops=12),
+        MachineConfig(),
+        max_points=2,
+        seed=0xFA11,
+        name="Fillseq-S",
+    )
+
+
+class TestSchemeMatrix:
+    def test_covers_every_scheme_and_profile(self, matrix):
+        assert len(matrix.cells) == len(MATRIX_SCHEME_LABELS) * len(FAULT_PROFILES)
+        schemes = {scheme for scheme, _ in matrix.cells}
+        profiles = {profile for _, profile in matrix.cells}
+        assert schemes == set(MATRIX_SCHEME_LABELS)
+        assert profiles == set(FAULT_PROFILES)
+
+    def test_no_cell_has_silent_corruption(self, matrix):
+        matrix.assert_invariant()
+        assert matrix.silent_corruptions == 0
+
+    def test_new_fault_vocabulary_is_exercised(self, matrix):
+        burst_cells = [r for (s, p), r in matrix.cells.items() if p == "torn-burst"]
+        flip_cells = [r for (s, p), r in matrix.cells.items() if p == "counter-flips"]
+        assert sum(
+            pt.dispositions.get("torn_bursts", 0) for r in burst_cells for pt in r.points
+        ) > 0
+        assert sum(
+            pt.dispositions.get("metadata_flips", 0) for r in flip_cells for pt in r.points
+        ) > 0
+
+    def test_summary_names_every_cell(self, matrix):
+        summary = matrix.summary()
+        for scheme in MATRIX_SCHEME_LABELS:
+            assert scheme in summary
+        for profile in FAULT_PROFILES:
+            assert profile in summary
+
+
+class TestStrictStatLookups:
+    def test_run_result_stat_raises_on_unknown_key(self):
+        machine = Machine(MachineConfig())
+        base = machine.mmap_anonymous(pages=1)
+        machine.load(base)
+        result = machine.result("strict")
+        known = next(k for k in sorted(result.stats) if "." in k)
+        assert result.stat(known) == result.stats[known]
+        with pytest.raises(KeyError, match="unknown stat"):
+            result.stat("machine.no_such_counter")
+
+    def test_stat_counters_strict_accessor(self):
+        machine = Machine(MachineConfig(scheme=Scheme.FSENCR))
+        stats = machine.controller.stats
+        assert stats.stat("ott_refills") == 0  # eagerly declared
+        with pytest.raises(KeyError, match="unknown stat"):
+            stats.stat("ott_refils")
 
 
 class TestAssertInvariantMechanism:
