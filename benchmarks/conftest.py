@@ -27,25 +27,27 @@ def results_dir() -> Path:
 
 
 # One experiment run feeds multiple figures (Figures 8/9/10 are three
-# views of the same runs; likewise 12/13/14).  These session caches let
-# the first bench do the work and the siblings reuse it — the suite
-# stays a faithful regeneration while avoiding 3x the simulation time.
-_shared_tables = {}
+# views of the same runs; likewise 12/13/14).  A single session-scoped
+# ExperimentRunner gives every bench the same sharing — the first caller
+# simulates a cell, every later figure built from the same cells is
+# served from the runner's content-addressed cache — while also sharing
+# with past suite invocations through ``.repro-cache/`` on disk.
+@pytest.fixture(scope="session")
+def experiment_runner():
+    from repro.exec import ExperimentRunner
+
+    return ExperimentRunner(jobs=1)
 
 
 @pytest.fixture(scope="session")
-def pmemkv_table():
+def pmemkv_table(experiment_runner):
     from repro.analysis import figure8_to_10_pmemkv
 
-    if "pmemkv" not in _shared_tables:
-        _shared_tables["pmemkv"] = figure8_to_10_pmemkv()
-    return _shared_tables["pmemkv"]
+    return figure8_to_10_pmemkv(runner=experiment_runner)
 
 
 @pytest.fixture(scope="session")
-def micro_table():
+def micro_table(experiment_runner):
     from repro.analysis import figure12_to_14_micro
 
-    if "micro" not in _shared_tables:
-        _shared_tables["micro"] = figure12_to_14_micro()
-    return _shared_tables["micro"]
+    return figure12_to_14_micro(runner=experiment_runner)

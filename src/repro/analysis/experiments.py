@@ -6,6 +6,13 @@ the schemes it compares, and returns a :class:`~repro.sim.results
 wraps these functions with pytest-benchmark; EXPERIMENTS.md records
 their output against the paper's reported numbers.
 
+Every figure is a grid of independent cells, so each driver builds
+:class:`~repro.exec.CellSpec` lists and executes them through an
+:class:`~repro.exec.ExperimentRunner` — pass ``jobs=N`` (or a shared
+``runner``) to fan the grid out over worker processes and to memoise
+unchanged cells in ``.repro-cache/`` (docs/RUNNER.md).  The default is
+the serial in-process path, bit-identical to any ``jobs`` setting.
+
 Op counts are scaled for Python-speed runs (see ``SCALE_FACTOR`` in
 ``repro.sim.config``); pass larger ``ops``/``iterations`` to push
 fidelity at the price of wall-clock time.
@@ -13,14 +20,15 @@ fidelity at the price of wall-clock time.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..exec import CellSpec, ExperimentRunner, payload_to_runs
 from ..sim.config import MachineConfig, Scheme
-from ..sim.results import Comparison, ResultTable, RunResult
-from ..workloads.base import compare_schemes, run_workload
-from ..workloads.dax_micro import DAX_MICRO_BENCHMARKS, make_dax_micro
-from ..workloads.pmemkv import PMEMKV_BENCHMARKS, make_pmemkv_workload
-from ..workloads.whisper import WHISPER_BENCHMARKS, make_whisper_workload
+from ..sim.results import Comparison, ResultTable
+from ..workloads.base import WorkloadComparison
+from ..workloads.dax_micro import DAX_MICRO_BENCHMARKS
+from ..workloads.pmemkv import PMEMKV_BENCHMARKS
+from ..workloads.whisper import WHISPER_BENCHMARKS
 
 __all__ = [
     "figure3_software_encryption",
@@ -38,27 +46,90 @@ DEFAULT_WHISPER_OPS = 1500
 DEFAULT_MICRO_ITERS = 8000
 
 
+def _resolve_runner(
+    runner: Optional[ExperimentRunner], jobs: Optional[int]
+) -> ExperimentRunner:
+    """The runner a figure driver executes on.
+
+    Library calls default to the serial path (``jobs=1``) so importing a
+    figure function never silently forks workers; the CLI passes the
+    ``--jobs`` value through, and benchmark fixtures share one runner.
+    """
+    if runner is not None:
+        return runner
+    return ExperimentRunner(jobs=jobs if jobs is not None else 1)
+
+
+def _comparison_cells(
+    benchmarks: Sequence[str],
+    config: Optional[MachineConfig],
+    schemes: Tuple[Scheme, ...],
+    ops: int = 0,
+    iterations: int = 0,
+) -> List[CellSpec]:
+    base = config or MachineConfig()
+    return [
+        CellSpec(
+            kind="compare",
+            workload=name,
+            config=base,
+            ops=ops,
+            iterations=iterations,
+            schemes=tuple(scheme.value for scheme in schemes),
+        )
+        for name in benchmarks
+    ]
+
+
+def _comparison_table(
+    title: str,
+    cells: Sequence[CellSpec],
+    baseline: Scheme,
+    scheme: Scheme,
+    runner: ExperimentRunner,
+) -> ResultTable:
+    table = ResultTable(title)
+    for result in runner.run(cells):
+        comparison = WorkloadComparison(
+            workload=result.payload["workload"], runs=payload_to_runs(result.payload)
+        )
+        table.add(comparison.against(baseline, scheme))
+    return table
+
+
 def figure3_software_encryption(
-    config: Optional[MachineConfig] = None, ops: int = DEFAULT_WHISPER_OPS
+    config: Optional[MachineConfig] = None,
+    ops: int = DEFAULT_WHISPER_OPS,
+    *,
+    runner: Optional[ExperimentRunner] = None,
+    jobs: Optional[int] = None,
 ) -> ResultTable:
     """Figure 3: eCryptfs-style software encryption vs plain ext4-dax.
 
     Paper result: ~2.7x average slowdown over the three Whisper
     benchmarks, YCSB worst at ~5x.
     """
-    table = ResultTable("Figure 3: software filesystem encryption overhead")
-    for name, _cls in WHISPER_BENCHMARKS:
-        comparison = compare_schemes(
-            lambda n=name: make_whisper_workload(n, ops=ops),
-            config=config,
-            schemes=(Scheme.EXT4DAX_PLAIN, Scheme.SOFTWARE_ENCRYPTION),
-        )
-        table.add(comparison.against(Scheme.EXT4DAX_PLAIN, Scheme.SOFTWARE_ENCRYPTION))
-    return table
+    cells = _comparison_cells(
+        [name for name, _cls in WHISPER_BENCHMARKS],
+        config,
+        (Scheme.EXT4DAX_PLAIN, Scheme.SOFTWARE_ENCRYPTION),
+        ops=ops,
+    )
+    return _comparison_table(
+        "Figure 3: software filesystem encryption overhead",
+        cells,
+        Scheme.EXT4DAX_PLAIN,
+        Scheme.SOFTWARE_ENCRYPTION,
+        _resolve_runner(runner, jobs),
+    )
 
 
 def figure8_to_10_pmemkv(
-    config: Optional[MachineConfig] = None, ops: int = DEFAULT_PMEMKV_OPS
+    config: Optional[MachineConfig] = None,
+    ops: int = DEFAULT_PMEMKV_OPS,
+    *,
+    runner: Optional[ExperimentRunner] = None,
+    jobs: Optional[int] = None,
 ) -> ResultTable:
     """Figures 8 (slowdown), 9 (writes), 10 (reads): PMEMKV under FsEncr.
 
@@ -66,19 +137,27 @@ def figure8_to_10_pmemkv(
     are exactly the three figures.  Paper result: small slowdowns,
     write benchmarks > read benchmarks, -L > -S on metadata locality.
     """
-    table = ResultTable("Figures 8-10: PMEMKV, FsEncr vs baseline security")
-    for name, _cls, _size in PMEMKV_BENCHMARKS:
-        comparison = compare_schemes(
-            lambda n=name: make_pmemkv_workload(n, ops=ops),
-            config=config,
-            schemes=(Scheme.BASELINE_SECURE, Scheme.FSENCR),
-        )
-        table.add(comparison.against(Scheme.BASELINE_SECURE, Scheme.FSENCR))
-    return table
+    cells = _comparison_cells(
+        [name for name, _cls, _size in PMEMKV_BENCHMARKS],
+        config,
+        (Scheme.BASELINE_SECURE, Scheme.FSENCR),
+        ops=ops,
+    )
+    return _comparison_table(
+        "Figures 8-10: PMEMKV, FsEncr vs baseline security",
+        cells,
+        Scheme.BASELINE_SECURE,
+        Scheme.FSENCR,
+        _resolve_runner(runner, jobs),
+    )
 
 
 def figure11_whisper(
-    config: Optional[MachineConfig] = None, ops: int = DEFAULT_WHISPER_OPS
+    config: Optional[MachineConfig] = None,
+    ops: int = DEFAULT_WHISPER_OPS,
+    *,
+    runner: Optional[ExperimentRunner] = None,
+    jobs: Optional[int] = None,
 ) -> ResultTable:
     """Figure 11 (a/b/c): Whisper slowdown/writes/reads under FsEncr.
 
@@ -86,19 +165,27 @@ def figure11_whisper(
     YCSB slightly higher overhead than Hashmap/CTree due to file-access
     intensity; a 98.33% reduction versus software encryption.
     """
-    table = ResultTable("Figure 11: Whisper, FsEncr vs baseline security")
-    for name, _cls in WHISPER_BENCHMARKS:
-        comparison = compare_schemes(
-            lambda n=name: make_whisper_workload(n, ops=ops),
-            config=config,
-            schemes=(Scheme.BASELINE_SECURE, Scheme.FSENCR),
-        )
-        table.add(comparison.against(Scheme.BASELINE_SECURE, Scheme.FSENCR))
-    return table
+    cells = _comparison_cells(
+        [name for name, _cls in WHISPER_BENCHMARKS],
+        config,
+        (Scheme.BASELINE_SECURE, Scheme.FSENCR),
+        ops=ops,
+    )
+    return _comparison_table(
+        "Figure 11: Whisper, FsEncr vs baseline security",
+        cells,
+        Scheme.BASELINE_SECURE,
+        Scheme.FSENCR,
+        _resolve_runner(runner, jobs),
+    )
 
 
 def figure12_to_14_micro(
-    config: Optional[MachineConfig] = None, iterations: int = DEFAULT_MICRO_ITERS
+    config: Optional[MachineConfig] = None,
+    iterations: int = DEFAULT_MICRO_ITERS,
+    *,
+    runner: Optional[ExperimentRunner] = None,
+    jobs: Optional[int] = None,
 ) -> ResultTable:
     """Figures 12-14: adversarial synthetic micro-benchmarks.
 
@@ -106,15 +193,19 @@ def figure12_to_14_micro(
     amortisation at the larger stride); swap micros show elevated reads
     from random-placement metadata misses.
     """
-    table = ResultTable("Figures 12-14: DAX micro-benchmarks, FsEncr vs baseline")
-    for name, _cls in DAX_MICRO_BENCHMARKS:
-        comparison = compare_schemes(
-            lambda n=name: make_dax_micro(n, iterations=iterations),
-            config=config,
-            schemes=(Scheme.BASELINE_SECURE, Scheme.FSENCR),
-        )
-        table.add(comparison.against(Scheme.BASELINE_SECURE, Scheme.FSENCR))
-    return table
+    cells = _comparison_cells(
+        [name for name, _cls in DAX_MICRO_BENCHMARKS],
+        config,
+        (Scheme.BASELINE_SECURE, Scheme.FSENCR),
+        iterations=iterations,
+    )
+    return _comparison_table(
+        "Figures 12-14: DAX micro-benchmarks, FsEncr vs baseline",
+        cells,
+        Scheme.BASELINE_SECURE,
+        Scheme.FSENCR,
+        _resolve_runner(runner, jobs),
+    )
 
 
 #: Figure 15's x-axis.  The paper sweeps 128 KB - 2 MB against workloads
@@ -134,39 +225,54 @@ def figure15_cache_sensitivity(
     pmemkv_ops: int = DEFAULT_PMEMKV_OPS,
     whisper_ops: int = DEFAULT_WHISPER_OPS,
     micro_iters: int = DEFAULT_MICRO_ITERS,
+    *,
+    runner: Optional[ExperimentRunner] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, Dict[int, float]]:
     """Figure 15: FsEncr slowdown (%) vs metadata-cache size.
 
     Returns ``{workload: {cache_bytes: slowdown_percent}}``.  Paper
     result: real workloads improve markedly with cache size; the
     synthetic DAX-2 improves only slightly (it has little reuse for any
-    cache to capture).
+    cache to capture).  The (workload x cache size) grid runs as one
+    cell batch, so ``--jobs`` parallelises across both axes at once.
     """
     base_config = config or MachineConfig()
     sizes = cache_sizes or FIG15_CACHE_SIZES
+    schemes = (Scheme.BASELINE_SECURE.value, Scheme.FSENCR.value)
 
-    def factory(name: str):
+    def cell_for(name: str, size: int) -> CellSpec:
+        ops = 0
+        iterations = 0
         if name == "Fillrandom-L":
-            return make_pmemkv_workload(name, ops=pmemkv_ops)
-        if name == "Hashmap":
-            return make_whisper_workload(name, ops=whisper_ops)
-        if name == "DAX-2":
-            return make_dax_micro(name, iterations=micro_iters)
-        raise KeyError(name)
+            ops = pmemkv_ops
+        elif name == "Hashmap":
+            ops = whisper_ops
+        elif name == "DAX-2":
+            iterations = micro_iters
+        else:
+            raise KeyError(name)
+        return CellSpec(
+            kind="compare",
+            workload=name,
+            config=base_config.with_metadata_cache(size),
+            ops=ops,
+            iterations=iterations,
+            schemes=schemes,
+        )
 
-    curves: Dict[str, Dict[int, float]] = {}
-    for name in FIG15_WORKLOADS:
-        curve: Dict[int, float] = {}
-        for size in sizes:
-            swept = base_config.with_metadata_cache(size)
-            comparison = compare_schemes(
-                lambda n=name: factory(n),
-                config=swept,
-                schemes=(Scheme.BASELINE_SECURE, Scheme.FSENCR),
-            )
-            row = comparison.against(Scheme.BASELINE_SECURE, Scheme.FSENCR)
-            curve[size] = row.overhead_percent
-        curves[name] = curve
+    grid = [(name, size) for name in FIG15_WORKLOADS for size in sizes]
+    results = _resolve_runner(runner, jobs).run(
+        [cell_for(name, size) for name, size in grid]
+    )
+
+    curves: Dict[str, Dict[int, float]] = {name: {} for name in FIG15_WORKLOADS}
+    for (name, size), result in zip(grid, results):
+        runs = payload_to_runs(result.payload)
+        row = Comparison.of(
+            runs[Scheme.FSENCR.value], runs[Scheme.BASELINE_SECURE.value]
+        )
+        curves[name][size] = row.overhead_percent
     return curves
 
 

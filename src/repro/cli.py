@@ -6,15 +6,20 @@
     python -m repro fig12           # synthetic micro-benchmarks
     python -m repro fig15           # metadata-cache sensitivity sweep
     python -m repro table1          # executable vulnerability matrix
+    python -m repro bench           # every figure grid on one runner
     python -m repro all             # everything, in paper order
     python -m repro quick           # one fast end-to-end sanity pass
     python -m repro crashsweep      # systematic crash/recovery audit
 
 ``--ops`` / ``--iters`` scale the workloads; ``--json PATH`` saves the
-table data for downstream plotting.  ``crashsweep`` runs the full
-(scheme x fault-profile) matrix by default — narrow it with
-``--scheme`` / ``--profile``, or shape a one-off plan with ``--profile
-custom`` plus ``--drain-fraction/--torn-prob/--torn-burst/--bit-flips/
+table data for downstream plotting.  Every grid command takes ``--jobs
+N`` to fan its cells over worker processes (default: serial) and serves
+unchanged cells from ``.repro-cache/`` — ``--no-cache`` always
+simulates, ``--clear-cache`` empties the cache first, ``--cache-dir``
+relocates it (docs/RUNNER.md).  ``crashsweep`` runs the full (scheme x
+fault-profile) matrix by default — narrow it with ``--scheme`` /
+``--profile``, or shape a one-off plan with ``--profile custom`` plus
+``--drain-fraction/--torn-prob/--torn-burst/--bit-flips/
 --counter-flips`` — and exits non-zero iff any cell's crash point
 produced silent corruption.
 """
@@ -35,47 +40,83 @@ from .analysis import (
     render_sensitivity,
     render_table1,
 )
+from .exec import ExperimentRunner
 
 __all__ = ["main"]
 
 
-def _emit(table, json_path: Optional[str]) -> None:
+def _make_runner(args) -> ExperimentRunner:
+    """Build the runner the command's grids execute on.
+
+    ``--jobs`` unset means serial (the library default); ``--jobs 0``
+    means "one worker per CPU".  ``--clear-cache`` empties the cache
+    before the run rather than instead of it, so ``--clear-cache`` plus
+    a figure command is the natural "rebuild from scratch" spelling.
+    """
+    jobs = args.jobs
+    if jobs == 0:
+        jobs = None  # ExperimentRunner(None) -> os.cpu_count()
+    runner = ExperimentRunner(
+        jobs if jobs is not None else 1,
+        use_cache=not args.no_cache,
+        cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+    )
+    if args.clear_cache:
+        removed = runner.clear_cache()
+        print(f"cache cleared: {removed} entries")
+    return runner
+
+
+def _emit(table, json_path: Optional[str], runner: ExperimentRunner) -> None:
     print(table.render())
+    print(runner.last_stats.summary())
     print()
     if json_path:
-        table.save_json(Path(json_path))
+        table.save_json(Path(json_path), extra={"runner": runner.last_stats.to_dict()})
         print(f"saved: {json_path}")
 
 
-def _run_fig3(args) -> None:
-    _emit(figure3_software_encryption(ops=args.ops or 1500), args.json)
+def _run_fig3(args, runner: Optional[ExperimentRunner] = None) -> None:
+    runner = runner or _make_runner(args)
+    _emit(figure3_software_encryption(ops=args.ops or 1500, runner=runner), args.json, runner)
 
 
-def _run_fig8(args) -> None:
-    _emit(figure8_to_10_pmemkv(ops=args.ops or 600), args.json)
+def _run_fig8(args, runner: Optional[ExperimentRunner] = None) -> None:
+    runner = runner or _make_runner(args)
+    _emit(figure8_to_10_pmemkv(ops=args.ops or 600, runner=runner), args.json, runner)
 
 
-def _run_fig11(args) -> None:
-    _emit(figure11_whisper(ops=args.ops or 1500), args.json)
+def _run_fig11(args, runner: Optional[ExperimentRunner] = None) -> None:
+    runner = runner or _make_runner(args)
+    _emit(figure11_whisper(ops=args.ops or 1500, runner=runner), args.json, runner)
 
 
-def _run_fig12(args) -> None:
-    _emit(figure12_to_14_micro(iterations=args.iters or 8000), args.json)
+def _run_fig12(args, runner: Optional[ExperimentRunner] = None) -> None:
+    runner = runner or _make_runner(args)
+    _emit(figure12_to_14_micro(iterations=args.iters or 8000, runner=runner), args.json, runner)
 
 
-def _run_fig15(args) -> None:
+def _run_fig15(args, runner: Optional[ExperimentRunner] = None) -> None:
+    runner = runner or _make_runner(args)
     curves = figure15_cache_sensitivity(
         pmemkv_ops=args.ops or 400,
         whisper_ops=(args.ops or 400) * 3,
         micro_iters=args.iters or 6000,
+        runner=runner,
     )
     print(render_sensitivity(curves))
+    print(runner.last_stats.summary())
     if args.json:
         import json
 
         Path(args.json).write_text(
             json.dumps(
-                {k: {str(s): v for s, v in c.items()} for k, c in curves.items()},
+                {
+                    "curves": {
+                        k: {str(s): v for s, v in c.items()} for k, c in curves.items()
+                    },
+                    "runner": runner.last_stats.to_dict(),
+                },
                 indent=2,
             )
         )
@@ -95,16 +136,32 @@ def _run_report(args) -> None:
 
 def _run_quick(args) -> None:
     """A fast sanity pass: tiny versions of the headline comparisons."""
+    runner = _make_runner(args)
     print(render_table1())
     print()
-    _emit(figure11_whisper(ops=400), None)
-    _emit(figure3_software_encryption(ops=400), None)
+    _emit(figure11_whisper(ops=400, runner=runner), None, runner)
+    _emit(figure3_software_encryption(ops=400, runner=runner), None, runner)
+
+
+def _run_bench(args) -> None:
+    """Every figure grid on one shared runner.
+
+    The point of sharing: overlapping grids (fig8 and fig15 both run
+    Fillrandom-L cells, say) are simulated once, and the closing
+    lifetime summary shows exactly how much the cache saved.
+    """
+    runner = _make_runner(args)
+    for step in (_run_fig3, _run_fig8, _run_fig11, _run_fig12, _run_fig15):
+        step(args, runner)
+        print()
+    print(runner.lifetime.summary())
 
 
 def _run_all(args) -> None:
-    for runner in (_run_fig3, _run_fig8, _run_fig11, _run_fig12, _run_fig15, _run_table1):
-        runner(args)
+    for step in (_run_fig3, _run_fig8, _run_fig11, _run_fig12, _run_fig15):
+        step(args)
         print()
+    _run_table1(args)
 
 
 def _run_crashsweep(args) -> int:
@@ -118,7 +175,7 @@ def _run_crashsweep(args) -> int:
     import json
 
     from .faults.plan import FAULT_PROFILES, FaultPlan
-    from .faults.sweep import matrix_configs, sweep_matrix, workload_factory
+    from .faults.sweep import matrix_configs, sweep_matrix
 
     columns = matrix_configs()
     if args.scheme != "all":
@@ -166,15 +223,20 @@ def _run_crashsweep(args) -> int:
         known = ", ".join(sorted(FAULT_PROFILES))
         raise SystemExit(f"unknown --profile {args.profile!r} (choose from {known}, all, custom)")
 
+    runner = _make_runner(args)
     matrix = sweep_matrix(
-        workload_factory(args.workload, ops=args.ops or 0, iterations=args.iters or 0),
+        args.workload,
         profiles=profiles,
         schemes=columns,
         max_points=args.points,
         seed=args.seed,
         name=args.workload,
+        ops=args.ops or 0,
+        iterations=args.iters or 0,
+        runner=runner,
     )
     print(matrix.summary())
+    print(runner.last_stats.summary())
     for (scheme_label, profile_name), cell in sorted(matrix.cells.items()):
         for point in cell.points:
             print(
@@ -189,6 +251,7 @@ def _run_crashsweep(args) -> int:
                     "workload": matrix.workload,
                     "seed": matrix.seed,
                     "silent_corruptions": matrix.silent_corruptions,
+                    "runner": runner.last_stats.to_dict(),
                     "cells": [
                         {
                             "scheme": scheme_label,
@@ -236,6 +299,7 @@ _COMMANDS = {
     "table1": _run_table1,
     "report": _run_report,
     "quick": _run_quick,
+    "bench": _run_bench,
     "all": _run_all,
     "crashsweep": _run_crashsweep,
 }
@@ -250,6 +314,26 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--ops", type=int, default=None, help="workload operation count")
     parser.add_argument("--iters", type=int, default=None, help="micro-benchmark iterations")
     parser.add_argument("--json", type=str, default=None, help="save table data to this path")
+    runner = parser.add_argument_group("runner")
+    runner.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for grid cells (0 = one per CPU; default: serial)",
+    )
+    runner.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="always simulate; never read or write .repro-cache/",
+    )
+    runner.add_argument(
+        "--clear-cache",
+        action="store_true",
+        help="empty the result cache before running",
+    )
+    runner.add_argument(
+        "--cache-dir", type=str, default=None, help="result-cache directory (default: .repro-cache)"
+    )
     sweep = parser.add_argument_group("crashsweep")
     sweep.add_argument("--workload", type=str, default="DAX-3", help="workload to crash-sweep")
     sweep.add_argument("--points", type=int, default=8, help="max crash points to sample")

@@ -1,0 +1,81 @@
+"""Content-addressed on-disk result cache (``.repro-cache/``).
+
+Entries are keyed by ``sha256(canonical cell spec + source fingerprint)``
+— see :func:`repro.exec.spec.cell_key` — so a cache hit is a proof-by-
+construction that the cached payload is what simulating the cell *now*
+would produce: change a config knob, a seed, or any line of the
+simulator and the key changes with it.  That makes eviction unnecessary
+for correctness; ``clear()`` exists for disk hygiene only.
+
+Layout: one JSON file per cell at ``<dir>/<key[:2]>/<key>.json`` (the
+two-character fan-out keeps directories small on big grids).  Files are
+written atomically (temp + rename) so a parallel runner's workers and a
+concurrent second invocation can share one cache directory safely —
+worst case two processes compute the same cell and one rename wins with
+an identical payload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import Dict, Optional
+
+__all__ = ["DEFAULT_CACHE_DIR", "ResultCache"]
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+class ResultCache:
+    """Get/put of cell payloads under one cache directory."""
+
+    def __init__(self, directory: Optional[Path] = None) -> None:
+        self.directory = Path(directory or DEFAULT_CACHE_DIR)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict]:
+        """The cached entry for ``key``, or None.  A corrupt or
+        truncated file (killed writer, disk trouble) is a miss, never an
+        error — the cell is simply recomputed and rewritten."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict) or "payload" not in entry:
+            return None
+        return entry
+
+    def put(self, key: str, entry: Dict) -> None:
+        """Atomically persist one entry (temp file + rename)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(entry, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, path)
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns how many were removed."""
+        removed = 0
+        if not self.directory.exists():
+            return removed
+        for path in self.directory.rglob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for child in sorted(self.directory.iterdir()):
+            if child.is_dir():
+                shutil.rmtree(child, ignore_errors=True)
+        return removed
+
+    def __len__(self) -> int:
+        if not self.directory.exists():
+            return 0
+        return sum(1 for _ in self.directory.rglob("*.json"))

@@ -1,0 +1,255 @@
+"""The parallel, memoised experiment runner.
+
+``ExperimentRunner.run`` takes a list of :class:`CellSpec` and returns
+their payloads in order, fanning uncached cells out over a
+``ProcessPoolExecutor``.  The contract that makes this safe is division
+of labour:
+
+* cells are *pure functions* of their spec (``execute_cell``) — so
+  running them in any process, in any order, yields the same bytes;
+* the cache key binds spec + source fingerprint — so a hit can be
+  served without re-simulating, and any simulator edit misses;
+* ``jobs=1`` executes in-process with no pool at all — the exact serial
+  path, used by tests to prove the parallel path changes nothing.
+
+Observability: every ``run`` records per-cell wall-seconds, hit/miss
+counts, and throughput into :class:`RunnerStats` (``runner.last_stats``,
+with a lifetime accumulation in ``runner.lifetime``); consumers persist
+it into their results JSON so a figure's provenance records how it was
+produced.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .cache import ResultCache
+from .fingerprint import source_fingerprint
+from .spec import CellSpec, cell_key, execute_cell
+
+__all__ = ["CellExecutionError", "CellResult", "RunnerStats", "ExperimentRunner"]
+
+
+class CellExecutionError(RuntimeError):
+    """A cell failed in a worker.  The grid run raises — it never
+    returns a silent partial grid — and the message names the cell."""
+
+
+@dataclass
+class CellResult:
+    """One executed (or cache-served) cell."""
+
+    spec: CellSpec
+    key: str
+    payload: Dict
+    wall_seconds: float
+    from_cache: bool
+
+
+@dataclass
+class RunnerStats:
+    """Counters for one ``run`` call (or a lifetime accumulation)."""
+
+    cells_total: int = 0
+    cache_hits: int = 0
+    simulated: int = 0
+    wall_seconds: float = 0.0   # elapsed for the whole run() call
+    cell_seconds: float = 0.0   # sum of per-cell simulation time
+    jobs: int = 1
+
+    @property
+    def cache_misses(self) -> int:
+        return self.cells_total - self.cache_hits
+
+    @property
+    def cells_per_second(self) -> float:
+        return self.cells_total / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def merge(self, other: "RunnerStats") -> None:
+        self.cells_total += other.cells_total
+        self.cache_hits += other.cache_hits
+        self.simulated += other.simulated
+        self.wall_seconds += other.wall_seconds
+        self.cell_seconds += other.cell_seconds
+        self.jobs = max(self.jobs, other.jobs)
+
+    def summary(self) -> str:
+        return (
+            f"exec: {self.cells_total} cells "
+            f"({self.simulated} simulated, {self.cache_hits} cached) "
+            f"in {self.wall_seconds:.2f}s wall / {self.cell_seconds:.2f}s cell time, "
+            f"{self.cells_per_second:.2f} cells/s, jobs={self.jobs}"
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "cells_total": self.cells_total,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "simulated": self.simulated,
+            "wall_seconds": self.wall_seconds,
+            "cell_seconds": self.cell_seconds,
+            "cells_per_second": self.cells_per_second,
+            "jobs": self.jobs,
+        }
+
+
+def _execute_timed(spec: CellSpec):
+    """Worker entry point: run one cell, time it.  Module-level so the
+    process pool can pickle it; wall time is measured *around* the pure
+    simulation, never fed into it."""
+    start = time.perf_counter()
+    payload = execute_cell(spec)
+    return payload, time.perf_counter() - start
+
+
+class ExperimentRunner:
+    """Fan a grid of cells out over processes, memoising on disk.
+
+    * ``jobs`` — worker count; ``None`` means ``os.cpu_count()``; ``1``
+      is the exact in-process serial path (no pool, no pickling).
+    * ``use_cache`` — serve unchanged cells from ``.repro-cache/``
+      (``--no-cache`` maps to False: always simulate, never read/write).
+    * ``cache_dir`` — override the cache location.
+    * ``fingerprint`` — override the source fingerprint (tests use this
+      to prove a "source change" invalidates every key).
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        *,
+        use_cache: bool = True,
+        cache_dir: Optional[Path] = None,
+        cache: Optional[ResultCache] = None,
+        fingerprint: Optional[str] = None,
+    ) -> None:
+        if jobs is not None and jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        self.use_cache = use_cache
+        self.cache = cache or ResultCache(cache_dir)
+        self._fingerprint = fingerprint
+        self.last_stats = RunnerStats(jobs=self.jobs)
+        self.lifetime = RunnerStats(jobs=self.jobs)
+
+    def fingerprint(self) -> str:
+        return self._fingerprint or source_fingerprint()
+
+    def clear_cache(self) -> int:
+        return self.cache.clear()
+
+    # ------------------------------------------------------------------
+
+    def run(self, specs: Sequence[CellSpec]) -> List[CellResult]:
+        """Execute a grid; results come back in spec order.
+
+        Raises :class:`CellExecutionError` if any cell fails — cells
+        that already completed are still cached, so a re-run after a fix
+        only pays for the broken cell onward.
+        """
+        start = time.perf_counter()
+        fingerprint = self.fingerprint()
+        keys = [cell_key(spec, fingerprint) for spec in specs]
+        results: List[Optional[CellResult]] = [None] * len(specs)
+
+        pending: List[int] = []
+        for index, (spec, key) in enumerate(zip(specs, keys)):
+            entry = self.cache.get(key) if self.use_cache else None
+            if entry is not None:
+                results[index] = CellResult(
+                    spec=spec,
+                    key=key,
+                    payload=entry["payload"],
+                    wall_seconds=entry.get("wall_seconds", 0.0),
+                    from_cache=True,
+                )
+            else:
+                pending.append(index)
+
+        if pending:
+            if self.jobs == 1 or len(pending) == 1:
+                self._run_serial(specs, keys, results, pending, fingerprint)
+            else:
+                self._run_pool(specs, keys, results, pending, fingerprint)
+
+        stats = RunnerStats(
+            cells_total=len(specs),
+            cache_hits=len(specs) - len(pending),
+            simulated=len(pending),
+            wall_seconds=time.perf_counter() - start,
+            cell_seconds=sum(
+                r.wall_seconds for r in results if r is not None and not r.from_cache
+            ),
+            jobs=self.jobs,
+        )
+        self.last_stats = stats
+        self.lifetime.merge(stats)
+        return [result for result in results if result is not None]
+
+    def run_one(self, spec: CellSpec) -> CellResult:
+        return self.run([spec])[0]
+
+    # ------------------------------------------------------------------
+
+    def _store(self, spec: CellSpec, key: str, payload: Dict, seconds: float,
+               fingerprint: str) -> CellResult:
+        if self.use_cache:
+            self.cache.put(
+                key,
+                {
+                    "spec": spec.canonical(),
+                    "fingerprint": fingerprint,
+                    "payload": payload,
+                    "wall_seconds": seconds,
+                },
+            )
+        return CellResult(
+            spec=spec, key=key, payload=payload, wall_seconds=seconds, from_cache=False
+        )
+
+    def _run_serial(self, specs, keys, results, pending, fingerprint) -> None:
+        for index in pending:
+            try:
+                payload, seconds = _execute_timed(specs[index])
+            except Exception as exc:
+                raise CellExecutionError(
+                    f"cell {specs[index].label} failed: {exc}"
+                ) from exc
+            results[index] = self._store(
+                specs[index], keys[index], payload, seconds, fingerprint
+            )
+
+    def _run_pool(self, specs, keys, results, pending, fingerprint) -> None:
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_execute_timed, specs[index]): index for index in pending
+            }
+            done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+            failed: Optional[BaseException] = None
+            failed_index = -1
+            for future in done:
+                index = futures[future]
+                exc = future.exception()
+                if exc is not None:
+                    if failed is None:
+                        failed, failed_index = exc, index
+                    continue
+                payload, seconds = future.result()
+                results[index] = self._store(
+                    specs[index], keys[index], payload, seconds, fingerprint
+                )
+            if failed is not None:
+                for future in not_done:
+                    future.cancel()
+                raise CellExecutionError(
+                    f"cell {specs[failed_index].label} failed in worker: {failed}"
+                ) from failed
+            # FIRST_EXCEPTION with no exception means everything is done.
+            assert not not_done

@@ -1,0 +1,232 @@
+"""Cell specifications: the picklable unit of experiment execution.
+
+Every grid this reproduction runs — the figure drivers' (workload x
+scheme) comparisons, Figure 15's (workload x cache-size) sweep, the
+crash matrix's (scheme x fault-profile) cells — decomposes into fully
+independent *cells*.  A :class:`CellSpec` is the complete, serialisable
+description of one cell: which workload (by factory *name*, so the spec
+crosses process boundaries), under which :class:`MachineConfig`, with
+which seeds.  ``execute_cell`` turns a spec into a JSON-safe payload; it
+is a pure function, which is what makes both process-pool fan-out and
+content-addressed caching sound.
+
+Two cell kinds cover every consumer:
+
+* ``compare`` — run the workload once per scheme on otherwise-equal
+  machines (the ``compare_schemes`` idiom every figure uses); payload
+  carries one :class:`~repro.sim.results.RunResult` per scheme.
+* ``sweep``   — one crash-sweep cell (``sweep_workload``): crash at
+  sampled persist boundaries under a :class:`FaultPlan`, audit every
+  line; payload carries the :class:`~repro.faults.sweep.SweepResult`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields, is_dataclass
+from enum import Enum
+from typing import Callable, Dict, Optional, Tuple
+
+from ..faults.plan import FaultPlan
+from ..sim.config import MachineConfig, Scheme
+from ..sim.results import RunResult
+
+__all__ = [
+    "CellSpec",
+    "canonical_json",
+    "cell_key",
+    "execute_cell",
+    "resolve_workload",
+    "payload_to_runs",
+    "payload_to_sweep",
+]
+
+
+def _plain(value):
+    """Recursively reduce configs/plans to canonical JSON-safe values."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _plain(getattr(value, f.name)) for f in fields(value)}
+    if isinstance(value, Enum):
+        return value.value
+    if isinstance(value, (list, tuple)):
+        return [_plain(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _plain(item) for key, item in sorted(value.items())}
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    raise TypeError(f"cannot canonicalise {type(value).__name__} for a cell key")
+
+
+def canonical_json(value) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, enums by value."""
+    return json.dumps(_plain(value), sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One independent simulation cell, fully described by value.
+
+    Everything here is part of the cell's identity: two specs with equal
+    canonical JSON produce bit-identical payloads (the simulator is a
+    pure function of its inputs), which is the contract the result cache
+    and the ``--jobs N`` == ``--jobs 1`` equivalence both rest on.
+    """
+
+    kind: str                       # "compare" | "sweep"
+    workload: str                   # factory name: "Fillseq-S", "Hashmap", "DAX-2", ...
+    config: MachineConfig
+    ops: int = 0                    # PMEMKV / Whisper op count (0 = factory default)
+    iterations: int = 0             # DAX micro iterations (0 = factory default)
+    workload_seed: Optional[int] = None  # None = factory default seed
+    # compare cells: scheme values in run order (baseline first by convention).
+    schemes: Tuple[str, ...] = ()
+    # sweep cells: the fault plan, boundary sampling bound, and sweep seed.
+    plan: Optional[FaultPlan] = None
+    max_points: int = 8
+    sweep_seed: int = 0xC0FFEE
+    name: str = ""                  # sweep trace name (part of the payload)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("compare", "sweep"):
+            raise ValueError(f"unknown cell kind {self.kind!r}")
+        if self.kind == "compare" and not self.schemes:
+            raise ValueError("compare cell needs at least one scheme")
+        if self.kind == "sweep" and self.plan is None:
+            raise ValueError("sweep cell needs a FaultPlan")
+
+    @property
+    def label(self) -> str:
+        """Human-readable cell identity for logs and error messages."""
+        if self.kind == "compare":
+            return f"{self.workload}({'/'.join(self.schemes)})"
+        return f"{self.workload}[sweep {self.config.scheme.value}]"
+
+    def canonical(self) -> Dict:
+        return _plain(self)
+
+
+def cell_key(spec: CellSpec, fingerprint: str) -> str:
+    """Content address: canonical spec JSON + the source fingerprint."""
+    blob = canonical_json(spec) + ":" + fingerprint
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Workload resolution (name -> fresh-instance factory)
+# ----------------------------------------------------------------------
+
+
+def resolve_workload(
+    name: str,
+    ops: int = 0,
+    iterations: int = 0,
+    seed: Optional[int] = None,
+) -> Callable[[], object]:
+    """A zero-argument factory for a fresh workload by benchmark name.
+
+    Covers all three families the figures run: ``DAX-*`` micros, the
+    Whisper set (YCSB/Hashmap/CTree), and PMEMKV patterns.  Zero /
+    ``None`` arguments fall through to the factory defaults so specs
+    built from existing call sites reproduce their exact workloads.
+    """
+    from ..workloads import (
+        WHISPER_BENCHMARKS,
+        make_dax_micro,
+        make_pmemkv_workload,
+        make_whisper_workload,
+    )
+
+    if name.upper().startswith("DAX"):
+        kwargs = {}
+        if iterations:
+            kwargs["iterations"] = iterations
+        if seed is not None:
+            kwargs["seed"] = seed
+        return lambda: make_dax_micro(name, **kwargs)
+    if name in {bench_name for bench_name, _cls in WHISPER_BENCHMARKS}:
+        kwargs = {}
+        if ops:
+            kwargs["ops"] = ops
+        if seed is not None:
+            kwargs["seed"] = seed
+        return lambda: make_whisper_workload(name, **kwargs)
+    kwargs = {}
+    if ops:
+        kwargs["ops"] = ops
+    if seed is not None:
+        kwargs["seed"] = seed
+    return lambda: make_pmemkv_workload(name, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Execution (runs in worker processes — keep it a pure function)
+# ----------------------------------------------------------------------
+
+
+def execute_cell(spec: CellSpec) -> Dict:
+    """Run one cell to completion; returns the JSON-safe payload.
+
+    Determinism contract: everything the payload contains is derived
+    from the spec alone — no wall clock, no pid, no ambient entropy —
+    so a worker pool's results are bit-identical to a serial loop's.
+    """
+    if spec.kind == "compare":
+        return _execute_compare(spec)
+    return _execute_sweep(spec)
+
+
+def _execute_compare(spec: CellSpec) -> Dict:
+    from ..workloads.base import run_workload
+
+    factory = resolve_workload(
+        spec.workload, ops=spec.ops, iterations=spec.iterations, seed=spec.workload_seed
+    )
+    runs: Dict[str, Dict] = {}
+    workload_name = spec.workload
+    for scheme_value in spec.schemes:
+        workload = factory()
+        workload_name = workload.name
+        result = run_workload(spec.config.with_scheme(Scheme(scheme_value)), workload)
+        runs[scheme_value] = result.to_dict()
+    return {"kind": "compare", "workload": workload_name, "runs": runs}
+
+
+def _execute_sweep(spec: CellSpec) -> Dict:
+    from ..faults.sweep import sweep_workload
+
+    factory = resolve_workload(
+        spec.workload, ops=spec.ops, iterations=spec.iterations, seed=spec.workload_seed
+    )
+    sweep = sweep_workload(
+        factory,
+        spec.config,
+        plan=spec.plan,
+        max_points=spec.max_points,
+        seed=spec.sweep_seed,
+        name=spec.name,
+    )
+    return {"kind": "sweep", "sweep": sweep.to_dict()}
+
+
+# ----------------------------------------------------------------------
+# Payload decoding (back to the domain objects consumers expect)
+# ----------------------------------------------------------------------
+
+
+def payload_to_runs(payload: Dict) -> Dict[str, RunResult]:
+    """Decode a compare payload into {scheme value: RunResult}."""
+    if payload.get("kind") != "compare":
+        raise ValueError(f"not a compare payload: kind={payload.get('kind')!r}")
+    return {
+        scheme: RunResult.from_dict(raw) for scheme, raw in payload["runs"].items()
+    }
+
+
+def payload_to_sweep(payload: Dict):
+    """Decode a sweep payload into a SweepResult."""
+    from ..faults.sweep import SweepResult
+
+    if payload.get("kind") != "sweep":
+        raise ValueError(f"not a sweep payload: kind={payload.get('kind')!r}")
+    return SweepResult.from_dict(payload["sweep"])

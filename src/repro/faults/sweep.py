@@ -87,6 +87,31 @@ class CrashPointResult:
     recovery_ns: float
     recovered_keys: int
 
+    def to_dict(self) -> Dict:
+        return {
+            "op_index": self.op_index,
+            "plan_seed": self.plan_seed,
+            "dispositions": dict(self.dispositions),
+            "outcomes": dict(self.outcomes),
+            "silent_lines": list(self.silent_lines),
+            "trials": self.trials,
+            "recovery_ns": self.recovery_ns,
+            "recovered_keys": self.recovered_keys,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict) -> "CrashPointResult":
+        return cls(
+            op_index=raw["op_index"],
+            plan_seed=raw["plan_seed"],
+            dispositions=dict(raw["dispositions"]),
+            outcomes=dict(raw["outcomes"]),
+            silent_lines=tuple(raw["silent_lines"]),
+            trials=raw["trials"],
+            recovery_ns=raw["recovery_ns"],
+            recovered_keys=raw["recovered_keys"],
+        )
+
 
 @dataclass
 class SweepResult:
@@ -127,6 +152,26 @@ class SweepResult:
             raise AssertionError(
                 f"silent corruption at {len(lines)} line(s): {', '.join(lines)}"
             )
+
+    def to_dict(self) -> Dict:
+        """JSON-safe record (the exec runner's cache/worker payload)."""
+        return {
+            "workload": self.workload,
+            "scheme": self.scheme,
+            "seed": self.seed,
+            "boundaries_total": self.boundaries_total,
+            "points": [point.to_dict() for point in self.points],
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict) -> "SweepResult":
+        return cls(
+            workload=raw["workload"],
+            scheme=raw["scheme"],
+            seed=raw["seed"],
+            boundaries_total=raw["boundaries_total"],
+            points=[CrashPointResult.from_dict(p) for p in raw["points"]],
+        )
 
 
 # ----------------------------------------------------------------------
@@ -388,7 +433,7 @@ class MatrixResult:
 
 
 def sweep_matrix(
-    factory: Callable[[], object],
+    factory: "Callable[[], object] | str",
     base_config: Optional[MachineConfig] = None,
     *,
     profiles: Optional[Dict[str, FaultPlan]] = None,
@@ -396,6 +441,9 @@ def sweep_matrix(
     max_points: int = 8,
     seed: int = 0xC0FFEE,
     name: str = "",
+    ops: int = 0,
+    iterations: int = 0,
+    runner=None,
 ) -> MatrixResult:
     """Run the full (scheme x fault-profile) crash-sweep matrix.
 
@@ -404,21 +452,73 @@ def sweep_matrix(
     the same profile still derive distinct per-point plans from their
     own boundary indices, while the whole matrix stays a pure function
     of (workload, base config, seed).
+
+    ``factory`` is either a zero-argument callable (the historical
+    in-process path) or a workload *name* string.  Passing a name makes
+    the matrix runnable on a :class:`~repro.exec.ExperimentRunner`
+    (``runner=``): each cell becomes a picklable
+    :class:`~repro.exec.CellSpec`, so the grid fans out over worker
+    processes and warm cells are served from the on-disk result cache —
+    bit-identical to the serial path either way.  A callable factory
+    cannot cross a process boundary, so combining one with ``runner``
+    raises.
     """
     profiles = profiles if profiles is not None else dict(FAULT_PROFILES)
     schemes = schemes if schemes is not None else matrix_configs(base_config)
     result = MatrixResult(workload=name or "matrix", seed=seed)
-    for scheme_label, config in schemes:
-        for profile_name, profile in sorted(profiles.items()):
-            cell = sweep_workload(
-                factory,
-                config,
+
+    grid = [
+        (scheme_label, config, profile_name, profile)
+        for scheme_label, config in schemes
+        for profile_name, profile in sorted(profiles.items())
+    ]
+
+    if runner is not None:
+        from ..exec import CellSpec, payload_to_sweep
+
+        if not isinstance(factory, str):
+            raise TypeError(
+                "sweep_matrix(runner=...) needs a workload name, not a "
+                "callable — a factory function cannot cross the worker "
+                "process boundary or be content-addressed for the cache"
+            )
+        cells = [
+            CellSpec(
+                kind="sweep",
+                workload=factory,
+                config=config,
+                ops=ops,
+                iterations=iterations,
                 plan=profile.with_seed(seed),
                 max_points=max_points,
-                seed=seed,
+                sweep_seed=seed,
                 name=name,
             )
+            for scheme_label, config, profile_name, profile in grid
+        ]
+        for (scheme_label, _config, profile_name, _profile), cell_result in zip(
+            grid, runner.run(cells)
+        ):
+            cell = payload_to_sweep(cell_result.payload)
             result.cells[(scheme_label, profile_name)] = cell
             if not result.workload or result.workload == "matrix":
                 result.workload = cell.workload
+        return result
+
+    if isinstance(factory, str):
+        from ..exec import resolve_workload
+
+        factory = resolve_workload(factory, ops=ops, iterations=iterations)
+    for scheme_label, config, profile_name, profile in grid:
+        cell = sweep_workload(
+            factory,
+            config,
+            plan=profile.with_seed(seed),
+            max_points=max_points,
+            seed=seed,
+            name=name,
+        )
+        result.cells[(scheme_label, profile_name)] = cell
+        if not result.workload or result.workload == "matrix":
+            result.workload = cell.workload
     return result

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from ..mem.address import PAGE_SIZE
+from ..mem.address import PAGE_MASK, PAGE_SHIFT
 from ..mem.stats import StatCounters
 from .page_table import PageFault, PageTable, PageTableEntry
 from .tlb import TLB
@@ -61,8 +61,8 @@ class MMU:
         """Translate one virtual address, faulting if needed."""
         if vaddr < 0:
             raise ValueError(f"negative virtual address {vaddr:#x}")
-        vpn = vaddr // PAGE_SIZE
-        offset = vaddr % PAGE_SIZE
+        vpn = vaddr >> PAGE_SHIFT
+        offset = vaddr & PAGE_MASK
         latency = 0.0
         faulted = False
 

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from ..mem import dfbit
-from ..mem.address import PAGE_SIZE
+from ..mem.address import PAGE_SHIFT, PAGE_SIZE
 
 __all__ = ["PageTableEntry", "PageTable", "PageFault"]
 
@@ -32,11 +32,12 @@ class PageFault(Exception):
         self.is_write = is_write
 
 
-@dataclass
+@dataclass(slots=True)
 class PageTableEntry:
     """One PTE.  ``pfn`` is the physical frame number; ``df`` mirrors the
     paper's DAX-File bit and is folded into the physical address the MMU
-    emits."""
+    emits.  ``slots=True``: the MMU touches a PTE on every translation,
+    and big mappings hold one of these per page."""
 
     pfn: int
     present: bool = True
@@ -49,7 +50,7 @@ class PageTableEntry:
         """Physical address for a byte offset, with the DF tag applied."""
         if offset < 0 or offset >= PAGE_SIZE:
             raise ValueError(f"offset {offset} outside page")
-        addr = self.pfn * PAGE_SIZE + offset
+        addr = (self.pfn << PAGE_SHIFT) | offset
         return dfbit.set_df(addr) if self.df else addr
 
 

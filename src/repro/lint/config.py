@@ -35,6 +35,9 @@ DEFAULTS: Dict[str, object] = {
         "repro/crypto/",
         "repro/faults/",
     ],
+    # Worker-executed runner code: wall-timing is fine here, but seeds
+    # must come from the cell spec (no-worker-seed-entropy).
+    "worker-paths": ["repro/exec/"],
     # Layers that handle key material (key-hygiene).
     "crypto-paths": [
         "repro/crypto/",

@@ -108,3 +108,119 @@ class NoWallclockOrUnseededRng(Rule):
                     # attribute-chain check; nothing to record here.
                     pass
         return bans
+
+
+#: (module, attr) calls whose value varies per process / per invocation.
+_ENTROPY_CHAINS = {
+    ("os", "getpid"),
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("os", "urandom"),
+    ("uuid", "uuid1"),
+    ("uuid", "uuid4"),
+}
+
+
+@register
+class NoWorkerSeedEntropy(Rule):
+    """no-worker-seed-entropy — parallel workers must not invent seeds.
+
+    The experiment runner's worker processes (``worker-paths``, default
+    ``repro/exec/``) sit *outside* ``deterministic-paths`` on purpose:
+    they legitimately read the host clock to time cells.  What they must
+    never do is let per-process entropy flow into a *seed* — a worker
+    deriving randomness from ``os.getpid()`` or ``time.time()`` makes
+    ``--jobs N`` results differ from ``--jobs 1`` and breaks the
+    cache/parallel equivalence contract (docs/RUNNER.md).  This rule
+    flags process-varying calls only where they feed seeding: arguments
+    to ``random.Random(...)``, values bound to ``*seed*`` names, and
+    ``seed=``-style keyword arguments.
+    """
+
+    name = "no-worker-seed-entropy"
+    summary = "worker-executed code must not derive seeds from pid/time entropy"
+    contract = "docs/RUNNER.md: jobs=N is bit-identical to jobs=1"
+
+    def check(self, src: SourceFile, project: Project, options) -> Iterator[Finding]:
+        scoped = options.get("worker-paths", [])
+        if not path_matches(src.rel, scoped):
+            return
+        aliased = self._entropy_aliases(src)
+        for node in ast.walk(src.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                if node.value is None or not any(
+                    self._seedish_target(target) for target in targets
+                ):
+                    continue
+                culprit = self._entropy_call(node.value, aliased)
+                if culprit is not None:
+                    yield self.finding(
+                        src,
+                        culprit,
+                        f"seed derived from {self._describe(culprit, aliased)}; workers "
+                        f"must take seeds from the cell spec, never invent them",
+                    )
+            elif isinstance(node, ast.Call):
+                chain = attr_chain(node.func)
+                is_rng_ctor = bool(chain) and chain[-1] in ("Random", "SystemRandom")
+                seed_args = list(node.args) if is_rng_ctor else []
+                seed_args += [
+                    kw.value
+                    for kw in node.keywords
+                    if kw.arg is not None and "seed" in kw.arg.lower()
+                ]
+                for arg in seed_args:
+                    culprit = self._entropy_call(arg, aliased)
+                    if culprit is not None:
+                        yield self.finding(
+                            src,
+                            culprit,
+                            f"seed derived from {self._describe(culprit, aliased)}; workers "
+                            f"must take seeds from the cell spec, never invent them",
+                        )
+
+    def _seedish_target(self, target: ast.AST) -> bool:
+        if isinstance(target, ast.Name):
+            return "seed" in target.id.lower()
+        if isinstance(target, ast.Attribute):
+            return "seed" in target.attr.lower()
+        if isinstance(target, (ast.Tuple, ast.List)):
+            return any(self._seedish_target(elt) for elt in target.elts)
+        return False
+
+    def _entropy_call(self, expr: ast.AST, aliased: Dict[str, Tuple[str, str]]):
+        """First process-varying call inside an expression, or None."""
+        for sub in ast.walk(expr):
+            if not isinstance(sub, ast.Call):
+                continue
+            func = sub.func
+            if isinstance(func, ast.Name) and func.id in aliased:
+                return sub
+            chain = attr_chain(func)
+            if chain and len(chain) >= 2 and (chain[0], chain[-1]) in _ENTROPY_CHAINS:
+                return sub
+        return None
+
+    def _describe(self, call: ast.Call, aliased: Dict[str, Tuple[str, str]]) -> str:
+        func = call.func
+        if isinstance(func, ast.Name):
+            module, name = aliased[func.id]
+            return f"{module}.{name}()"
+        chain = attr_chain(func)
+        return ".".join(chain or ["<call>"]) + "()"
+
+    def _entropy_aliases(self, src: SourceFile) -> Dict[str, Tuple[str, str]]:
+        """Names bound by ``from os import getpid``-style imports."""
+        aliases: Dict[str, Tuple[str, str]] = {}
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ImportFrom) or node.module is None:
+                continue
+            for alias in node.names:
+                if (node.module, alias.name) in _ENTROPY_CHAINS:
+                    aliases[alias.asname or alias.name] = (node.module, alias.name)
+        return aliases

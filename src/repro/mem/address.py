@@ -16,7 +16,11 @@ from dataclasses import dataclass
 
 __all__ = [
     "LINE_SIZE",
+    "LINE_SHIFT",
+    "LINE_MASK",
     "PAGE_SIZE",
+    "PAGE_SHIFT",
+    "PAGE_MASK",
     "LINES_PER_PAGE",
     "line_address",
     "page_number",
@@ -29,20 +33,28 @@ LINE_SIZE = 64
 PAGE_SIZE = 4096
 LINES_PER_PAGE = PAGE_SIZE // LINE_SIZE
 
+# Precomputed shift/mask forms of the two geometries.  The hot paths
+# (MMU translate, cache walk, line iteration) use these instead of
+# re-deriving ``// LINE_SIZE`` / ``% PAGE_SIZE`` arithmetic per access.
+LINE_SHIFT = LINE_SIZE.bit_length() - 1
+LINE_MASK = LINE_SIZE - 1
+PAGE_SHIFT = PAGE_SIZE.bit_length() - 1
+PAGE_MASK = PAGE_SIZE - 1
+
 
 def line_address(addr: int) -> int:
     """Align an address down to its cache-line base."""
-    return addr & ~(LINE_SIZE - 1)
+    return addr & ~LINE_MASK
 
 
 def page_number(addr: int) -> int:
     """Physical page number containing ``addr``."""
-    return addr // PAGE_SIZE
+    return addr >> PAGE_SHIFT
 
 
 def page_offset_lines(addr: int) -> int:
     """Index (0..63) of the cache line inside its 4 KB page."""
-    return (addr % PAGE_SIZE) // LINE_SIZE
+    return (addr & PAGE_MASK) >> LINE_SHIFT
 
 
 @dataclass(frozen=True)

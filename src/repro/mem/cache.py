@@ -44,12 +44,21 @@ class CacheConfig:
         return self.size_bytes // (self.ways * self.line_size)
 
 
-@dataclass(frozen=True)
 class Eviction:
-    """A victim pushed out of the cache; ``dirty`` means write it back."""
+    """A victim pushed out of the cache; ``dirty`` means write it back.
 
-    addr: int
-    dirty: bool
+    ``__slots__`` because evictions are minted inside the per-access
+    cache walk — allocation cost here is paid on every simulated miss.
+    """
+
+    __slots__ = ("addr", "dirty")
+
+    def __init__(self, addr: int, dirty: bool) -> None:
+        self.addr = addr
+        self.dirty = dirty
+
+    def __repr__(self) -> str:
+        return f"Eviction(addr={self.addr:#x}, dirty={self.dirty})"
 
 
 class SetAssociativeCache:
@@ -67,6 +76,11 @@ class SetAssociativeCache:
     def __init__(self, config: CacheConfig, stats: Optional[StatCounters] = None) -> None:
         self.config = config
         self.stats = stats or StatCounters(config.name)
+        # Hoisted geometry: the per-access path must not chase
+        # ``self.config.<field>`` attribute chains on every probe.
+        self._line_size = config.line_size
+        self._num_sets = config.num_sets
+        self._ways = config.ways
         # One OrderedDict per set: key = tag, value = dirty flag.
         # Iteration order is LRU -> MRU.
         self._sets: List["OrderedDict[int, bool]"] = [
@@ -76,17 +90,17 @@ class SetAssociativeCache:
     # -- address helpers ---------------------------------------------------
 
     def _line(self, addr: int) -> int:
-        return addr // self.config.line_size
+        return addr // self._line_size
 
     def _set_index(self, line: int) -> int:
-        return line % self.config.num_sets
+        return line % self._num_sets
 
     # -- core operations ----------------------------------------------------
 
     def lookup(self, addr: int) -> bool:
         """True if the line is present; refreshes LRU on hit."""
-        line = self._line(addr)
-        entries = self._sets[self._set_index(line)]
+        line = addr // self._line_size
+        entries = self._sets[line % self._num_sets]
         if line in entries:
             entries.move_to_end(line)
             return True
@@ -94,8 +108,8 @@ class SetAssociativeCache:
 
     def access(self, addr: int, is_write: bool) -> "tuple[bool, Optional[Eviction]]":
         """Probe + allocate-on-miss.  Returns ``(hit, eviction_or_None)``."""
-        line = self._line(addr)
-        entries = self._sets[self._set_index(line)]
+        line = addr // self._line_size
+        entries = self._sets[line % self._num_sets]
         eviction: Optional[Eviction] = None
         hit = line in entries
         if hit:
@@ -105,11 +119,9 @@ class SetAssociativeCache:
                 entries[line] = True
         else:
             self.stats.add("misses")
-            if len(entries) >= self.config.ways:
+            if len(entries) >= self._ways:
                 victim_line, victim_dirty = entries.popitem(last=False)
-                eviction = Eviction(
-                    addr=victim_line * self.config.line_size, dirty=victim_dirty
-                )
+                eviction = Eviction(victim_line * self._line_size, victim_dirty)
                 self.stats.add("evictions")
                 if victim_dirty:
                     self.stats.add("dirty_evictions")
@@ -118,17 +130,17 @@ class SetAssociativeCache:
 
     def fill(self, addr: int, dirty: bool = False) -> Optional[Eviction]:
         """Insert a line (used by explicit fills); returns any eviction."""
-        line = self._line(addr)
-        entries = self._sets[self._set_index(line)]
+        line = addr // self._line_size
+        entries = self._sets[line % self._num_sets]
         eviction: Optional[Eviction] = None
         if line in entries:
             entries.move_to_end(line)
             if dirty:
                 entries[line] = True
             return None
-        if len(entries) >= self.config.ways:
+        if len(entries) >= self._ways:
             victim_line, victim_dirty = entries.popitem(last=False)
-            eviction = Eviction(addr=victim_line * self.config.line_size, dirty=victim_dirty)
+            eviction = Eviction(victim_line * self._line_size, victim_dirty)
             self.stats.add("evictions")
             if victim_dirty:
                 self.stats.add("dirty_evictions")
@@ -137,8 +149,8 @@ class SetAssociativeCache:
 
     def writeback_line(self, addr: int) -> bool:
         """clwb: clean the line in place.  Returns True if it was dirty."""
-        line = self._line(addr)
-        entries = self._sets[self._set_index(line)]
+        line = addr // self._line_size
+        entries = self._sets[line % self._num_sets]
         if entries.get(line):
             entries[line] = False
             self.stats.add("writebacks")
@@ -147,13 +159,13 @@ class SetAssociativeCache:
 
     def invalidate_line(self, addr: int) -> Optional[Eviction]:
         """clflush: evict the line.  Returns the eviction if present."""
-        line = self._line(addr)
-        entries = self._sets[self._set_index(line)]
+        line = addr // self._line_size
+        entries = self._sets[line % self._num_sets]
         if line not in entries:
             return None
         dirty = entries.pop(line)
         self.stats.add("invalidations")
-        return Eviction(addr=line * self.config.line_size, dirty=dirty)
+        return Eviction(line * self._line_size, dirty)
 
     def drain(self) -> List[Eviction]:
         """Flush everything (crash / shutdown).  Returns dirty victims."""
@@ -161,7 +173,7 @@ class SetAssociativeCache:
         for entries in self._sets:
             for line, dirty in entries.items():
                 if dirty:
-                    victims.append(Eviction(addr=line * self.config.line_size, dirty=True))
+                    victims.append(Eviction(line * self._line_size, True))
             entries.clear()
         return victims
 
@@ -170,7 +182,7 @@ class SetAssociativeCache:
         snapshot: Dict[int, bool] = {}
         for entries in self._sets:
             for line, dirty in entries.items():
-                snapshot[line * self.config.line_size] = dirty
+                snapshot[line * self._line_size] = dirty
         return snapshot
 
     @property

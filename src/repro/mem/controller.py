@@ -17,7 +17,6 @@ machine model and workloads are scheme-agnostic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 from .nvm import NVMDevice, NVMStore
@@ -26,7 +25,6 @@ from .stats import StatCounters
 __all__ = ["MemoryRequest", "MemoryControllerBase", "PlainMemoryController"]
 
 
-@dataclass(frozen=True)
 class MemoryRequest:
     """One line-granularity request arriving at the controller.
 
@@ -37,20 +35,38 @@ class MemoryRequest:
     runs — controllers running with real crypto seal it during the write
     so the counter used for the pad is exactly the counter a later read
     will see.
+
+    A ``__slots__`` class rather than a dataclass: one of these is built
+    for every memory-side access the machine model issues, so per-object
+    construction cost and footprint are on the simulator's hot path.
     """
 
-    addr: int
-    is_write: bool
-    persist: bool = False
-    data: Optional[bytes] = None
+    __slots__ = ("addr", "is_write", "persist", "data")
 
-    def __post_init__(self) -> None:
-        if self.addr < 0:
-            raise ValueError(f"negative physical address {self.addr:#x}")
-        if self.persist and not self.is_write:
-            raise ValueError("persist only applies to writes")
-        if self.data is not None and not self.is_write:
-            raise ValueError("data payload only applies to writes")
+    def __init__(
+        self,
+        addr: int,
+        is_write: bool,
+        persist: bool = False,
+        data: Optional[bytes] = None,
+    ) -> None:
+        if addr < 0:
+            raise ValueError(f"negative physical address {addr:#x}")
+        if not is_write:
+            if persist:
+                raise ValueError("persist only applies to writes")
+            if data is not None:
+                raise ValueError("data payload only applies to writes")
+        self.addr = addr
+        self.is_write = is_write
+        self.persist = persist
+        self.data = data
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryRequest(addr={self.addr:#x}, is_write={self.is_write}, "
+            f"persist={self.persist}, data={'<64B>' if self.data is not None else None})"
+        )
 
 
 class MemoryControllerBase:

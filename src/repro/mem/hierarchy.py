@@ -45,19 +45,30 @@ class HierarchyConfig:
     )
 
 
-@dataclass(frozen=True)
 class AccessOutcome:
     """Result of pushing one CPU access through the hierarchy.
 
     ``miss_addr`` is set when the access fell through to memory, and
     ``writeback_addrs`` lists dirty L3 victims the controller must write
     back (each one a memory write the paper's figures count).
+
+    One outcome is minted per line access, so this is a ``__slots__``
+    class rather than a dataclass.
     """
 
-    latency_ns: float
-    hit_level: Optional[str]
-    miss_addr: Optional[int]
-    writeback_addrs: "tuple[int, ...]" = ()
+    __slots__ = ("latency_ns", "hit_level", "miss_addr", "writeback_addrs")
+
+    def __init__(
+        self,
+        latency_ns: float,
+        hit_level: Optional[str],
+        miss_addr: Optional[int],
+        writeback_addrs: "tuple[int, ...]" = (),
+    ) -> None:
+        self.latency_ns = latency_ns
+        self.hit_level = hit_level
+        self.miss_addr = miss_addr
+        self.writeback_addrs = writeback_addrs
 
 
 class CacheHierarchy:
@@ -74,6 +85,8 @@ class CacheHierarchy:
         self.l2 = SetAssociativeCache(self.config.l2, registry.create("l2"))
         self.l3 = SetAssociativeCache(self.config.l3, registry.create("l3"))
         self._levels = [self.l1, self.l2, self.l3]
+        # id() -> position, so the walk never does a list.index() scan.
+        self._level_index = {id(cache): i for i, cache in enumerate(self._levels)}
 
     def access(self, addr: int, is_write: bool) -> AccessOutcome:
         """Walk the hierarchy for one line access.
@@ -126,7 +139,7 @@ class CacheHierarchy:
 
     def _push_down(self, cache: SetAssociativeCache, addr: int) -> None:
         """Install a dirty victim in the next level down (write-back)."""
-        next_index = self._levels.index(cache) + 1
+        next_index = self._level_index[id(cache)] + 1
         for lower in self._levels[next_index:]:
             eviction = lower.fill(addr, dirty=True)
             if eviction is None or not eviction.dirty:

@@ -415,14 +415,22 @@ class Machine:
             self._flush_line(line)
         self.fence()
 
-    def _lines_of(self, vaddr: int, size: int) -> List[int]:
+    def _lines_of(self, vaddr: int, size: int) -> range:
         if size <= 0:
             raise ValueError("size must be positive")
         first = line_address(vaddr)
         last = line_address(vaddr + size - 1)
-        return list(range(first, last + LINE_SIZE, LINE_SIZE))
+        return range(first, last + LINE_SIZE, LINE_SIZE)
 
     def _access_range(self, vaddr: int, size: int, is_write: bool) -> None:
+        # Fast path: the overwhelmingly common case is a small access
+        # that stays inside one cache line — skip the range machinery.
+        first = line_address(vaddr)
+        if size <= 1 or line_address(vaddr + size - 1) == first:
+            if size <= 0:
+                raise ValueError("size must be positive")
+            self._access_line(first, is_write)
+            return
         for line_vaddr in self._lines_of(vaddr, size):
             self._access_line(line_vaddr, is_write)
 

@@ -1,0 +1,226 @@
+"""repro.exec: cache correctness, parallel/serial equivalence, failures.
+
+The runner's contract has three legs, and each gets direct coverage:
+
+* the content-addressed cache hits only when (spec, source fingerprint)
+  both match — any config knob, seed, or source change must miss;
+* ``jobs=2`` produces payloads bit-identical to ``jobs=1`` (parallelism
+  is an implementation detail, never an input to the simulation);
+* a failing cell raises :class:`CellExecutionError` naming the cell —
+  a grid run never silently returns partial results.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exec import (
+    CellExecutionError,
+    CellSpec,
+    ExperimentRunner,
+    ResultCache,
+    canonical_json,
+    cell_key,
+    source_fingerprint,
+)
+from repro.sim.config import MachineConfig, Scheme
+
+
+def spec_for(workload="Fillseq-S", ops=12, config=None, schemes=None):
+    return CellSpec(
+        kind="compare",
+        workload=workload,
+        config=config or MachineConfig(),
+        ops=ops,
+        schemes=schemes or (Scheme.BASELINE_SECURE.value, Scheme.FSENCR.value),
+    )
+
+
+def runner_for(tmp_path, jobs=1, **kw):
+    kw.setdefault("fingerprint", "test-fingerprint")
+    return ExperimentRunner(jobs=jobs, cache_dir=tmp_path / "cache", **kw)
+
+
+# -- spec identity -------------------------------------------------------
+
+
+def test_canonical_json_is_deterministic_and_config_sensitive():
+    a = spec_for()
+    b = spec_for()
+    assert canonical_json(a) == canonical_json(b)
+    c = spec_for(config=MachineConfig().with_metadata_cache(2048))
+    assert canonical_json(a) != canonical_json(c)
+
+
+def test_cell_key_binds_spec_and_fingerprint():
+    spec = spec_for()
+    assert cell_key(spec, "fp-1") != cell_key(spec, "fp-2")
+    assert cell_key(spec, "fp-1") == cell_key(spec_for(), "fp-1")
+
+
+def test_compare_spec_requires_schemes_and_known_kind():
+    with pytest.raises(ValueError):
+        CellSpec(kind="compare", workload="X", config=MachineConfig())
+    with pytest.raises(ValueError):
+        CellSpec(kind="nope", workload="X", config=MachineConfig(), schemes=("fsencr",))
+    with pytest.raises(ValueError):
+        CellSpec(kind="sweep", workload="X", config=MachineConfig())
+
+
+# -- cache hit / miss / invalidation ------------------------------------
+
+
+def test_cold_run_simulates_then_warm_run_is_all_hits(tmp_path):
+    runner = runner_for(tmp_path)
+    spec = spec_for()
+
+    cold = runner.run([spec])[0]
+    assert not cold.from_cache
+    assert runner.last_stats.simulated == 1
+    assert runner.last_stats.cache_hits == 0
+
+    warm = runner.run([spec])[0]
+    assert warm.from_cache
+    assert runner.last_stats.simulated == 0
+    assert runner.last_stats.cache_hits == 1
+    assert warm.payload == cold.payload
+
+
+def test_config_change_misses(tmp_path):
+    runner = runner_for(tmp_path)
+    runner.run([spec_for()])
+    runner.run([spec_for(config=MachineConfig().with_metadata_cache(2048))])
+    assert runner.last_stats.cache_hits == 0
+    assert runner.last_stats.simulated == 1
+
+
+def test_seed_and_ops_changes_miss(tmp_path):
+    runner = runner_for(tmp_path)
+    base = spec_for()
+    runner.run([base])
+    reseeded = CellSpec(
+        kind="compare",
+        workload=base.workload,
+        config=base.config,
+        ops=base.ops,
+        workload_seed=4242,
+        schemes=base.schemes,
+    )
+    runner.run([reseeded])
+    assert runner.last_stats.cache_hits == 0
+    runner.run([spec_for(ops=13)])
+    assert runner.last_stats.cache_hits == 0
+
+
+def test_fingerprint_change_invalidates_everything(tmp_path):
+    cold = runner_for(tmp_path, fingerprint="before-edit")
+    cold.run([spec_for()])
+    edited = runner_for(tmp_path, fingerprint="after-edit")
+    edited.run([spec_for()])
+    assert edited.last_stats.cache_hits == 0
+    assert edited.last_stats.simulated == 1
+
+
+def test_real_fingerprint_covers_simulator_sources():
+    fp = source_fingerprint()
+    assert len(fp) == 64
+    assert fp == source_fingerprint()  # memoised and stable in-process
+
+
+def test_no_cache_never_reads_or_writes(tmp_path):
+    runner = runner_for(tmp_path, use_cache=False)
+    runner.run([spec_for()])
+    assert len(runner.cache) == 0
+    runner.run([spec_for()])
+    assert runner.last_stats.cache_hits == 0
+
+
+def test_clear_cache_removes_entries(tmp_path):
+    runner = runner_for(tmp_path)
+    runner.run([spec_for()])
+    assert len(runner.cache) == 1
+    assert runner.clear_cache() == 1
+    runner.run([spec_for()])
+    assert runner.last_stats.simulated == 1
+
+
+def test_corrupt_cache_entry_is_a_miss_not_an_error(tmp_path):
+    runner = runner_for(tmp_path)
+    spec = spec_for()
+    runner.run([spec])
+    key = cell_key(spec, "test-fingerprint")
+    entry_path = runner.cache.directory / key[:2] / f"{key}.json"
+    entry_path.write_text("{ truncated", encoding="utf-8")
+    result = runner.run([spec])[0]
+    assert not result.from_cache
+    assert json.loads(entry_path.read_text())["payload"] == result.payload
+
+
+# -- parallel == serial --------------------------------------------------
+
+
+def test_jobs2_matches_jobs1_bit_identical(tmp_path):
+    grid = [
+        spec_for("Fillseq-S", ops=10),
+        spec_for("DAX-1", ops=0),
+        spec_for("Fillseq-S", ops=10, config=MachineConfig().with_metadata_cache(2048)),
+    ]
+    serial = runner_for(tmp_path / "serial", jobs=1, use_cache=False).run(grid)
+    parallel = runner_for(tmp_path / "parallel", jobs=2, use_cache=False).run(grid)
+    assert [r.payload for r in serial] == [r.payload for r in parallel]
+    # Order is spec order, not completion order.
+    assert [r.spec.label for r in parallel] == [s.label for s in grid]
+
+
+def test_stats_observability_fields(tmp_path):
+    runner = runner_for(tmp_path)
+    runner.run([spec_for(), spec_for(ops=11)])
+    stats = runner.last_stats
+    assert stats.cells_total == 2
+    assert stats.cache_misses == 2
+    assert stats.wall_seconds > 0
+    assert stats.cell_seconds > 0
+    assert stats.cells_per_second > 0
+    summary = stats.summary()
+    assert "2 cells" in summary and "jobs=1" in summary
+    payload = stats.to_dict()
+    assert payload["simulated"] == 2 and payload["cache_hits"] == 0
+    # lifetime accumulates across run() calls
+    runner.run([spec_for()])
+    assert runner.lifetime.cells_total == 3
+
+
+# -- failure surfacing ---------------------------------------------------
+
+
+def test_failing_cell_raises_serial(tmp_path):
+    runner = runner_for(tmp_path)
+    with pytest.raises(CellExecutionError, match="No-Such-Workload"):
+        runner.run([spec_for("No-Such-Workload")])
+
+
+def test_failing_cell_raises_in_pool_never_partial(tmp_path):
+    runner = runner_for(tmp_path, jobs=2)
+    grid = [spec_for("Fillseq-S", ops=10), spec_for("No-Such-Workload")]
+    with pytest.raises(CellExecutionError, match="No-Such-Workload"):
+        runner.run(grid)
+
+
+def test_completed_cells_survive_a_failed_grid(tmp_path):
+    runner = runner_for(tmp_path)
+    with pytest.raises(CellExecutionError):
+        runner.run([spec_for("Fillseq-S", ops=10), spec_for("No-Such-Workload")])
+    # The good cell was cached before the bad one raised, so a re-run
+    # after the fix only pays for what never completed.
+    rerun = runner.run([spec_for("Fillseq-S", ops=10)])[0]
+    assert rerun.from_cache
+
+
+def test_result_cache_roundtrip(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    assert cache.get("ab" * 32) is None
+    cache.put("ab" * 32, {"payload": {"x": 1}})
+    assert cache.get("ab" * 32)["payload"] == {"x": 1}
+    assert len(cache) == 1

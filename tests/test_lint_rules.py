@@ -46,11 +46,12 @@ def lint_tree(tmp_path: Path, files: dict, rule: str = None):
     return findings, suppressed
 
 
-def test_registry_has_all_eight_rules():
+def test_registry_has_all_nine_rules():
     assert set(RULES) == {
         "bit-width-bounds",
         "counter-overflow-handled",
         "no-wallclock-or-unseeded-rng",
+        "no-worker-seed-entropy",
         "integer-cycle-accounting",
         "key-hygiene",
         "persist-through-wpq",
@@ -329,6 +330,82 @@ def test_determinism_allows_seeded_rng_and_other_layers(tmp_path):
             return time.time()
         """,
         rule="no-wallclock-or-unseeded-rng",
+    )
+    assert elsewhere == []
+
+
+# -- no-worker-seed-entropy ---------------------------------------------
+
+
+def test_worker_seed_flags_pid_and_time_derived_seeds(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "src/repro/exec/x.py",
+        """
+        import os
+        import random
+        import time
+        def bad_rng():
+            return random.Random(os.getpid())
+        def bad_assign():
+            worker_seed = int(time.time()) ^ 0xBEEF
+            return worker_seed
+        def bad_keyword(run):
+            return run(seed=time.time_ns())
+        """,
+        rule="no-worker-seed-entropy",
+    )
+    messages = " | ".join(f.message for f in findings)
+    assert "os.getpid()" in messages
+    assert "time.time()" in messages
+    assert "time.time_ns()" in messages
+    assert len(findings) == 3
+
+
+def test_worker_seed_flags_from_import_alias(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "src/repro/exec/x.py",
+        """
+        from os import getpid as pid
+        import random
+        def rng():
+            return random.Random(pid())
+        """,
+        rule="no-worker-seed-entropy",
+    )
+    assert any("os.getpid()" in f.message for f in findings)
+
+
+def test_worker_seed_allows_wall_timing_and_spec_seeds(tmp_path):
+    # The runner's whole point is timing cells on the host clock — only
+    # *seeding* from entropy is banned in worker paths.
+    quiet = lint_snippet(
+        tmp_path,
+        "src/repro/exec/x.py",
+        """
+        import time
+        import random
+        def timed(spec, fn):
+            start = time.perf_counter()
+            rng = random.Random(spec.seed)
+            payload = fn(rng)
+            return payload, time.perf_counter() - start
+        """,
+        rule="no-worker-seed-entropy",
+    )
+    assert quiet == []
+    # Outside worker paths the rule does not apply at all.
+    elsewhere = lint_snippet(
+        tmp_path,
+        "src/repro/analysis/x.py",
+        """
+        import os
+        import random
+        def rng():
+            return random.Random(os.getpid())
+        """,
+        rule="no-worker-seed-entropy",
     )
     assert elsewhere == []
 
