@@ -23,8 +23,14 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..exec import CellSpec, ExperimentRunner, payload_to_runs
-from ..sim.config import MachineConfig, Scheme
+from ..sim.config import MachineConfig
 from ..sim.results import Comparison, ResultTable
+from ..sim.schemes import (
+    SchemeRef,
+    canonical_scheme_name,
+    comparison_pair,
+    motivation_pair,
+)
 from ..workloads.base import WorkloadComparison
 from ..workloads.dax_micro import DAX_MICRO_BENCHMARKS
 from ..workloads.pmemkv import PMEMKV_BENCHMARKS
@@ -63,10 +69,12 @@ def _resolve_runner(
 def _comparison_cells(
     benchmarks: Sequence[str],
     config: Optional[MachineConfig],
-    schemes: Tuple[Scheme, ...],
+    schemes: Tuple[str, ...],
     ops: int = 0,
     iterations: int = 0,
 ) -> List[CellSpec]:
+    """One compare cell per benchmark; schemes are registry names
+    (``CellSpec`` canonicalises and validates them)."""
     base = config or MachineConfig()
     return [
         CellSpec(
@@ -75,7 +83,7 @@ def _comparison_cells(
             config=base,
             ops=ops,
             iterations=iterations,
-            schemes=tuple(scheme.value for scheme in schemes),
+            schemes=tuple(schemes),
         )
         for name in benchmarks
     ]
@@ -84,8 +92,8 @@ def _comparison_cells(
 def _comparison_table(
     title: str,
     cells: Sequence[CellSpec],
-    baseline: Scheme,
-    scheme: Scheme,
+    baseline: str,
+    scheme: str,
     runner: ExperimentRunner,
 ) -> ResultTable:
     table = ResultTable(title)
@@ -109,17 +117,18 @@ def figure3_software_encryption(
     Paper result: ~2.7x average slowdown over the three Whisper
     benchmarks, YCSB worst at ~5x.
     """
+    plain_ref, software_ref = motivation_pair()
     cells = _comparison_cells(
         [name for name, _cls in WHISPER_BENCHMARKS],
         config,
-        (Scheme.EXT4DAX_PLAIN, Scheme.SOFTWARE_ENCRYPTION),
+        (plain_ref, software_ref),
         ops=ops,
     )
     return _comparison_table(
         "Figure 3: software filesystem encryption overhead",
         cells,
-        Scheme.EXT4DAX_PLAIN,
-        Scheme.SOFTWARE_ENCRYPTION,
+        plain_ref,
+        software_ref,
         _resolve_runner(runner, jobs),
     )
 
@@ -137,17 +146,18 @@ def figure8_to_10_pmemkv(
     are exactly the three figures.  Paper result: small slowdowns,
     write benchmarks > read benchmarks, -L > -S on metadata locality.
     """
+    baseline, contribution = comparison_pair()
     cells = _comparison_cells(
         [name for name, _cls, _size in PMEMKV_BENCHMARKS],
         config,
-        (Scheme.BASELINE_SECURE, Scheme.FSENCR),
+        (baseline, contribution),
         ops=ops,
     )
     return _comparison_table(
         "Figures 8-10: PMEMKV, FsEncr vs baseline security",
         cells,
-        Scheme.BASELINE_SECURE,
-        Scheme.FSENCR,
+        baseline,
+        contribution,
         _resolve_runner(runner, jobs),
     )
 
@@ -165,17 +175,18 @@ def figure11_whisper(
     YCSB slightly higher overhead than Hashmap/CTree due to file-access
     intensity; a 98.33% reduction versus software encryption.
     """
+    baseline, contribution = comparison_pair()
     cells = _comparison_cells(
         [name for name, _cls in WHISPER_BENCHMARKS],
         config,
-        (Scheme.BASELINE_SECURE, Scheme.FSENCR),
+        (baseline, contribution),
         ops=ops,
     )
     return _comparison_table(
         "Figure 11: Whisper, FsEncr vs baseline security",
         cells,
-        Scheme.BASELINE_SECURE,
-        Scheme.FSENCR,
+        baseline,
+        contribution,
         _resolve_runner(runner, jobs),
     )
 
@@ -193,17 +204,18 @@ def figure12_to_14_micro(
     amortisation at the larger stride); swap micros show elevated reads
     from random-placement metadata misses.
     """
+    baseline, contribution = comparison_pair()
     cells = _comparison_cells(
         [name for name, _cls in DAX_MICRO_BENCHMARKS],
         config,
-        (Scheme.BASELINE_SECURE, Scheme.FSENCR),
+        (baseline, contribution),
         iterations=iterations,
     )
     return _comparison_table(
         "Figures 12-14: DAX micro-benchmarks, FsEncr vs baseline",
         cells,
-        Scheme.BASELINE_SECURE,
-        Scheme.FSENCR,
+        baseline,
+        contribution,
         _resolve_runner(runner, jobs),
     )
 
@@ -226,20 +238,32 @@ def figure15_cache_sensitivity(
     whisper_ops: int = DEFAULT_WHISPER_OPS,
     micro_iters: int = DEFAULT_MICRO_ITERS,
     *,
+    scheme: Optional[SchemeRef] = None,
+    workloads: Optional[Sequence[str]] = None,
     runner: Optional[ExperimentRunner] = None,
     jobs: Optional[int] = None,
 ) -> Dict[str, Dict[int, float]]:
-    """Figure 15: FsEncr slowdown (%) vs metadata-cache size.
+    """Figure 15: slowdown (%) vs metadata-cache size.
 
     Returns ``{workload: {cache_bytes: slowdown_percent}}``.  Paper
     result: real workloads improve markedly with cache size; the
     synthetic DAX-2 improves only slightly (it has little reuse for any
     cache to capture).  The (workload x cache size) grid runs as one
     cell batch, so ``--jobs`` parallelises across both axes at once.
+
+    ``scheme`` selects the measured column (default: the registry's
+    contribution role, i.e. ``"fsencr"``); any registered FsEncr variant
+    works — ``"fsencr+partitioned"`` plots the same sweep with the
+    metadata cache statically partitioned per kind.  The baseline column
+    stays the registry's baseline role, so variant curves remain
+    comparable with the default ones.
     """
     base_config = config or MachineConfig()
     sizes = cache_sizes or FIG15_CACHE_SIZES
-    schemes = (Scheme.BASELINE_SECURE.value, Scheme.FSENCR.value)
+    names = list(workloads) if workloads is not None else list(FIG15_WORKLOADS)
+    baseline, contribution = comparison_pair()
+    measured = canonical_scheme_name(scheme) if scheme is not None else contribution
+    schemes = (baseline, measured)
 
     def cell_for(name: str, size: int) -> CellSpec:
         ops = 0
@@ -261,17 +285,15 @@ def figure15_cache_sensitivity(
             schemes=schemes,
         )
 
-    grid = [(name, size) for name in FIG15_WORKLOADS for size in sizes]
+    grid = [(name, size) for name in names for size in sizes]
     results = _resolve_runner(runner, jobs).run(
         [cell_for(name, size) for name, size in grid]
     )
 
-    curves: Dict[str, Dict[int, float]] = {name: {} for name in FIG15_WORKLOADS}
+    curves: Dict[str, Dict[int, float]] = {name: {} for name in names}
     for (name, size), result in zip(grid, results):
         runs = payload_to_runs(result.payload)
-        row = Comparison.of(
-            runs[Scheme.FSENCR.value], runs[Scheme.BASELINE_SECURE.value]
-        )
+        row = Comparison.of(runs[measured], runs[baseline])
         curves[name][size] = row.overhead_percent
     return curves
 

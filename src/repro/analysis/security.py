@@ -72,8 +72,8 @@ class SystemDesign:
     def __init__(self, name: str, per_file_keys: bool, any_file_keys: bool) -> None:
         self.name = name
         # Standalone functional image for the attack analysis; no
-        # results registry exists.
-        # repro-lint: disable=stats-registered
+        # results registry exists and no machine is being wired.
+        # repro-lint: disable=stats-registered,builder-owns-wiring
         self.controller = FsEncrController(
             layout=_LAYOUT, config=SecureControllerConfig(functional=True)
         )

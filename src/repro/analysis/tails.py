@@ -16,9 +16,10 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, Optional
 
-from ..sim.config import MachineConfig, Scheme
+from ..sim.config import MachineConfig
 from ..sim.histograms import LatencyHistogram
 from ..sim.machine import Machine
+from ..sim.schemes import SchemeRef, canonical_scheme_name, get_scheme
 from ..workloads.base import Workload
 
 __all__ = ["tail_latency_comparison", "render_tails"]
@@ -27,22 +28,24 @@ __all__ = ["tail_latency_comparison", "render_tails"]
 def tail_latency_comparison(
     workload_factory: Callable[[], Workload],
     config: Optional[MachineConfig] = None,
-    schemes: Iterable[Scheme] = (Scheme.BASELINE_SECURE, Scheme.FSENCR),
+    schemes: Iterable[SchemeRef] = ("baseline_secure", "fsencr"),
 ) -> Dict[str, Dict[str, float]]:
     """Per-scheme access-latency percentile summaries for one workload.
 
-    Returns ``{scheme_value: {total, mean_ns, p50_ns, p90_ns, p99_ns,
-    max_ns}}``.
+    ``schemes`` entries are registry names (enums accepted); each name's
+    spec projects the shared base config onto its column.  Returns
+    ``{scheme_name: {total, mean_ns, p50_ns, p90_ns, p99_ns, max_ns}}``.
     """
     base_config = config or MachineConfig()
     summaries: Dict[str, Dict[str, float]] = {}
     for scheme in schemes:
-        machine = Machine(base_config.with_scheme(scheme))
-        histogram = machine.attach_histogram(name=f"{scheme.value}")
+        scheme_name = canonical_scheme_name(scheme)
+        machine = Machine(get_scheme(scheme_name).configure(base_config))
+        histogram = machine.attach_histogram(name=scheme_name)
         workload = workload_factory()
         workload.setup(machine)
         workload.run(machine)
-        summaries[scheme.value] = histogram.as_dict()
+        summaries[scheme_name] = histogram.as_dict()
     return summaries
 
 

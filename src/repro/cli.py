@@ -98,10 +98,14 @@ def _run_fig12(args, runner: Optional[ExperimentRunner] = None) -> None:
 
 def _run_fig15(args, runner: Optional[ExperimentRunner] = None) -> None:
     runner = runner or _make_runner(args)
+    # --scheme selects the measured column ("fsencr+partitioned" plots
+    # the partitioned-cache variant); "all" keeps the figure's default.
+    scheme = None if args.scheme == "all" else args.scheme
     curves = figure15_cache_sensitivity(
         pmemkv_ops=args.ops or 400,
         whisper_ops=(args.ops or 400) * 3,
         micro_iters=args.iters or 6000,
+        scheme=scheme,
         runner=runner,
     )
     print(render_sensitivity(curves))
@@ -167,22 +171,37 @@ def _run_all(args) -> None:
 def _run_crashsweep(args) -> int:
     """Crash-sweep the (scheme x fault-profile) matrix, audit every line.
 
-    ``--scheme all`` runs every matrix column (fsencr, baseline_secure,
-    fsencr+wpq); ``--profile all`` runs every named fault profile.
-    ``--profile custom`` builds one plan from the individual fault
-    flags.  Exit code is the total silent-corruption count.
+    ``--scheme all`` runs every registry matrix column; a matrix-column
+    name narrows to that column, and any other *registered* scheme name
+    runs as a one-off ad-hoc column (so new registry entries are
+    sweepable before they earn a matrix seat).  ``--profile all`` runs
+    every named fault profile; ``--profile custom`` builds one plan from
+    the individual fault flags.  Exit code is the total
+    silent-corruption count.
     """
     import json
 
     from .faults.plan import FAULT_PROFILES, FaultPlan
     from .faults.sweep import matrix_configs, sweep_matrix
+    from .sim.config import MachineConfig
+    from .sim.schemes import crash_matrix_names, get_scheme, scheme_names
 
     columns = matrix_configs()
     if args.scheme != "all":
         columns = [(label, cfg) for label, cfg in columns if label == args.scheme]
         if not columns:
-            known = ", ".join(label for label, _ in matrix_configs())
-            raise SystemExit(f"unknown --scheme {args.scheme!r} (choose from {known}, all)")
+            try:
+                spec = get_scheme(args.scheme)
+            except ValueError:
+                known = ", ".join(crash_matrix_names())
+                registered = ", ".join(scheme_names())
+                raise SystemExit(
+                    f"unknown --scheme {args.scheme!r} (matrix columns: "
+                    f"{known}, all; any registered scheme also works: "
+                    f"{registered})"
+                )
+            # Ad-hoc column: same base normalisation as matrix_configs.
+            columns = [(spec.name, spec.configure(MachineConfig().with_wpq(False)))]
 
     knobs = {
         "drain_fraction": args.drain_fraction,
@@ -338,11 +357,21 @@ def main(argv: Optional[list] = None) -> int:
     sweep.add_argument("--workload", type=str, default="DAX-3", help="workload to crash-sweep")
     sweep.add_argument("--points", type=int, default=8, help="max crash points to sample")
     sweep.add_argument("--seed", type=int, default=0xC0FFEE, help="sweep / fault-plan seed")
+    from .sim.schemes import crash_matrix_names, scheme_names
+
     sweep.add_argument(
         "--scheme",
         type=str,
         default="all",
-        help="matrix column: fsencr, baseline_secure, fsencr+wpq, or all",
+        help=(
+            "crashsweep: matrix column ("
+            + ", ".join(crash_matrix_names())
+            + ", or all), or any registered scheme as an ad-hoc column ("
+            + ", ".join(
+                name for name in scheme_names() if name not in crash_matrix_names()
+            )
+            + "); fig15: the measured column (default fsencr)"
+        ),
     )
     sweep.add_argument(
         "--profile",

@@ -71,7 +71,7 @@ class FsEncrController(BaselineSecureController):
         # __len__); compare against None explicitly.  Machine injects a
         # registered table; the region's bundle is registered
         # post-construction.
-        self.ott = ott if ott is not None else OpenTunnelTable()  # repro-lint: disable=stats-registered
+        self.ott = ott if ott is not None else OpenTunnelTable()  # repro-lint: disable=stats-registered,builder-owns-wiring
         self.ott_region = EncryptedOTTRegion(  # repro-lint: disable=stats-registered
             slots=self.layout.ott_slots, ott_key=self.keys.ott_key
         )
@@ -306,6 +306,7 @@ class FsEncrController(BaselineSecureController):
             # PTEs, so this is belt-and-braces).
             return 0.0
         latency = 0.0
+        persisted = False
         fecb_addr = self.layout.fecb_addr(page)
         if block.counters.bump(line_index):
             self.stats.add("fecb_minor_overflows")
@@ -317,6 +318,7 @@ class FsEncrController(BaselineSecureController):
             self.osiris.note_persisted(fecb_addr)
             self.metadata_cache.clean_line(fecb_addr, MetadataKind.FECB)
             self._journal_protected_persist(fecb_addr)
+            persisted = True
         if self.osiris.note_update(fecb_addr):
             # Posted write-through, like the MECB case: bandwidth, not
             # write-path latency.
@@ -324,8 +326,28 @@ class FsEncrController(BaselineSecureController):
             self.stats.add("osiris_fecb_persists")
             self.metadata_cache.clean_line(fecb_addr, MetadataKind.FECB)
             self._journal_protected_persist(fecb_addr)
+            persisted = True
+        self._anubis_note_update(fecb_addr, persisted)
         self._update_merkle_path(fecb_addr)
         return latency
+
+    def _anubis_snapshot(self, addr: int):
+        """Adds the file layer: FECB lines shadow their full identity
+        (IDs + counters), everything else falls back to the MECB rule."""
+        if self.layout.fecb_base <= addr < self.layout.ott_base:
+            page = (addr - self.layout.fecb_base) // LINE_SIZE
+            block = self.fecb.peek(page)
+            if block is not None:
+                return (
+                    "fecb",
+                    page,
+                    block.group_id,
+                    block.file_id,
+                    block.counters.major,
+                    tuple(block.counters.minors),
+                )
+            return None
+        return super()._anubis_snapshot(addr)
 
     def _functional_pad(self, raw_addr: int) -> bytes:
         """OTP_mem, XORed with OTP_file when the page belongs to a file.

@@ -135,8 +135,8 @@ def import_machine(
     keys = KeyHierarchy(plaintext[:KEY_SIZE], plaintext[KEY_SIZE:])
 
     # Throwaway functional controller for the receiving machine; no
-    # results registry exists here.
-    # repro-lint: disable=stats-registered
+    # results registry exists here and no machine is being wired.
+    # repro-lint: disable=stats-registered,builder-owns-wiring
     controller = FsEncrController(
         layout=layout,
         keys=keys,

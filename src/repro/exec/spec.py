@@ -29,7 +29,7 @@ from enum import Enum
 from typing import Callable, Dict, Optional, Tuple
 
 from ..faults.plan import FaultPlan
-from ..sim.config import MachineConfig, Scheme
+from ..sim.config import MachineConfig
 from ..sim.results import RunResult
 
 __all__ = [
@@ -43,10 +43,23 @@ __all__ = [
 ]
 
 
+#: Fields added to a dataclass *after* cache keys referencing it existed
+#: in the wild.  While such a field still holds its original default it
+#: is omitted from the canonical form, so every pre-existing spec keeps
+#: its pre-existing cache key; specs that exercise the new knob get a
+#: (correctly) new key.
+_LATE_DEFAULTS = {"MachineConfig": {"anubis_recovery": False}}
+
+
 def _plain(value):
     """Recursively reduce configs/plans to canonical JSON-safe values."""
     if is_dataclass(value) and not isinstance(value, type):
-        return {f.name: _plain(getattr(value, f.name)) for f in fields(value)}
+        late = _LATE_DEFAULTS.get(type(value).__name__, {})
+        return {
+            f.name: _plain(getattr(value, f.name))
+            for f in fields(value)
+            if f.name not in late or getattr(value, f.name) != late[f.name]
+        }
     if isinstance(value, Enum):
         return value.value
     if isinstance(value, (list, tuple)):
@@ -94,6 +107,17 @@ class CellSpec:
             raise ValueError("compare cell needs at least one scheme")
         if self.kind == "sweep" and self.plan is None:
             raise ValueError("sweep cell needs a FaultPlan")
+        if self.schemes:
+            # Scheme names are registry currency: canonicalise (and
+            # validate) them here so equal cells always hash equally,
+            # whatever spelling the caller used.
+            from ..sim.schemes import canonical_scheme_name
+
+            object.__setattr__(
+                self,
+                "schemes",
+                tuple(canonical_scheme_name(scheme) for scheme in self.schemes),
+            )
 
     @property
     def label(self) -> str:
@@ -177,6 +201,7 @@ def execute_cell(spec: CellSpec) -> Dict:
 
 
 def _execute_compare(spec: CellSpec) -> Dict:
+    from ..sim.schemes import get_scheme
     from ..workloads.base import run_workload
 
     factory = resolve_workload(
@@ -184,11 +209,15 @@ def _execute_compare(spec: CellSpec) -> Dict:
     )
     runs: Dict[str, Dict] = {}
     workload_name = spec.workload
-    for scheme_value in spec.schemes:
+    for scheme_name in spec.schemes:
         workload = factory()
         workload_name = workload.name
-        result = run_workload(spec.config.with_scheme(Scheme(scheme_value)), workload)
-        runs[scheme_value] = result.to_dict()
+        # The registry projects the column onto the cell's base config:
+        # for the base schemes this is exactly with_scheme(); variant
+        # columns ("fsencr+wpq", "fsencr+anubis", ...) add their pins.
+        run_config = get_scheme(scheme_name).configure(spec.config)
+        result = run_workload(run_config, workload)
+        runs[scheme_name] = result.to_dict()
     return {"kind": "compare", "workload": workload_name, "runs": runs}
 
 

@@ -128,6 +128,9 @@ class RecoveryReport:
     merkle_nodes_poisoned: int = 0
     #: OTT spill records whose tag failed during the recovery scan.
     ott_slots_rejected: int = 0
+    #: Counter lines restored from the Anubis shadow region (the
+    #: "+anubis" columns): these start trial decryption at zero lag.
+    anubis_lines_restored: int = 0
 
 
 # ======================================================================
@@ -197,6 +200,8 @@ def _metadata_flip_targets(controller) -> List[Tuple[str, object]]:
     if merkle is not None:
         for node in merkle.stored_nodes():
             targets.append(("merkle", node))
+    for addr in sorted(getattr(controller, "_anubis_counters", {})):
+        targets.append(("anubis", addr))
     return targets
 
 
@@ -251,6 +256,21 @@ def _apply_metadata_flip(controller, region: str, where, rng) -> MetadataFlip:
         bit = rng.randrange(_MERKLE_DIGEST_BITS)
         controller.merkle.flip_node_bit(level, index, bit)
         return MetadataFlip(region="merkle", where=where, field="node_digest", bit=bit)
+    if region == "anubis":
+        # The shadow region is plain NVM like any counter line; a flip
+        # lands in the journalled snapshot's minor array (its last
+        # element), and recovery must surface it as an explicit ECC
+        # failure — never silently trust the shadow.
+        snap = list(controller._anubis_counters[where])
+        minors = list(snap[-1])
+        line = rng.randrange(len(minors))
+        bit = rng.randrange(MINOR_BITS)
+        minors[line] ^= 1 << bit
+        snap[-1] = tuple(minors)
+        controller._anubis_counters[where] = tuple(snap)
+        return MetadataFlip(
+            region="anubis", where=where, field=f"minor[{line}]", bit=bit
+        )
     raise ValueError(f"unknown metadata flip region {region!r}")
 
 
@@ -483,6 +503,35 @@ def reboot_machine(machine) -> RecoveryReport:
     }
     new_shadow: Dict[int, bytes] = {}
 
+    # -- 2a. Anubis shadow restore (the "+anubis" columns) --------------
+    # Before any trial decryption: the shadow region names exactly the
+    # counter lines whose home copies were stale at the crash, and its
+    # entries carry the live values.  One NVM read per tracked line;
+    # restored lines enter the trial loop at zero lag (the ECC check
+    # still runs, so a flipped shadow entry fails explicitly).
+    anubis_restored = 0
+    anubis_table = getattr(controller, "anubis_shadow", None)
+    if anubis_table is not None and anubis_table.occupancy:
+        anubis_snaps = dict(getattr(controller, "_anubis_counters", {}))
+
+        def _install_from_shadow(addr: int) -> None:
+            nonlocal recovery_ns
+            recovery_ns += controller.device.read(anubis_table.slot_addr(addr))
+            snap = anubis_snaps.get(addr)
+            if snap is None:
+                return
+            if snap[0] == "mecb":
+                _, page, major, minors = snap
+                final_mecb[page] = (major, list(minors))
+            else:
+                _, page, gid, fid, major, minors = snap
+                final_fecb[page] = (gid, fid, major, list(minors))
+
+        anubis_result = machine.config.build_anubis_recovery().recover(
+            anubis_table, _install_from_shadow
+        )
+        anubis_restored = anubis_result.recovered_lines
+
     if functional:
         osiris_recovery = machine.config.build_osiris_recovery()
         ecc_map = controller.store.scan_ecc()
@@ -581,6 +630,11 @@ def reboot_machine(machine) -> RecoveryReport:
         pages_restored += len(final_fecb)
     controller._plaintext_shadow.update(new_shadow)
     controller.osiris.reset()
+    if anubis_table is not None:
+        # Every tracked value is now installed and re-journalled; the
+        # shadow starts the next epoch empty.
+        anubis_table.reset()
+        controller._anubis_counters.clear()
 
     # -- 4. rebuild the integrity tree over the recovered metadata ------
     for addr in controller._integrity_leaf_addrs():
@@ -601,4 +655,5 @@ def reboot_machine(machine) -> RecoveryReport:
         recovery_ns=recovery_ns,
         merkle_nodes_poisoned=nodes_poisoned,
         ott_slots_rejected=getattr(controller, "ott_rejected_slots", 0),
+        anubis_lines_restored=anubis_restored,
     )

@@ -46,8 +46,9 @@ from ..secmem.ecc import check_line
 from ..secmem.merkle import IntegrityError
 from ..secmem.osiris import CounterRecoveryError
 from ..sim import trace as trace_mod
-from ..sim.config import MachineConfig, Scheme
+from ..sim.config import MachineConfig
 from ..sim.machine import Machine
+from ..sim.schemes import crash_matrix_names, get_scheme
 from ..sim.trace import TraceRecorder
 from .lifecycle import CrashReport, RecoveryReport
 from .plan import FAULT_PROFILES, FaultPlan
@@ -300,7 +301,7 @@ def sweep_workload(
     ciphertext to audit.  ``max_points`` bounds the replay cost by
     even-spaced sampling of the persist boundaries.
     """
-    base_config = config or MachineConfig(scheme=Scheme.FSENCR)
+    base_config = config or MachineConfig()  # default scheme: fsencr
     run_config = base_config._replace(functional=True)
     plan = plan or FaultPlan()
 
@@ -368,20 +369,26 @@ def sweep_workload(
 # The (scheme x fault-profile) matrix
 # ----------------------------------------------------------------------
 
-#: Scheme columns of the matrix.  The crash-consistency claim is
-#: universal over the *secure* configurations: FsEncr, the baseline it
-#: is measured against, and FsEncr with the explicit WPQ model (whose
-#: burst-drain path exercises a different in-flight tail shape).
-MATRIX_SCHEME_LABELS = ("fsencr", "baseline_secure", "fsencr+wpq")
+#: Scheme columns of the matrix, straight from the registry (every
+#: SchemeSpec with a ``crash_matrix_order``).  The crash-consistency
+#: claim is universal over the *secure* configurations: FsEncr, the
+#: baseline it is measured against, FsEncr with the explicit WPQ model
+#: (whose burst-drain path exercises a different in-flight tail shape),
+#: and FsEncr with Anubis shadow recovery.  Registering a new scheme
+#: with a matrix order grows this tuple — no edit here.
+MATRIX_SCHEME_LABELS = crash_matrix_names()
 
 
 def matrix_configs(base: Optional[MachineConfig] = None) -> List[Tuple[str, MachineConfig]]:
-    """The matrix's scheme columns derived from one base config."""
-    base = base or MachineConfig()
+    """The matrix's scheme columns derived from one base config.
+
+    The base's WPQ model is normalised off first so that only columns
+    that *pin* it (e.g. ``fsencr+wpq``) run with it — column identity
+    comes from the registry, not from whatever base the caller held.
+    """
+    base = (base or MachineConfig()).with_wpq(False)
     return [
-        ("fsencr", base.with_scheme(Scheme.FSENCR).with_wpq(False)),
-        ("baseline_secure", base.with_scheme(Scheme.BASELINE_SECURE).with_wpq(False)),
-        ("fsencr+wpq", base.with_scheme(Scheme.FSENCR).with_wpq(True)),
+        (name, get_scheme(name).configure(base)) for name in crash_matrix_names()
     ]
 
 

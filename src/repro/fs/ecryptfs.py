@@ -50,8 +50,9 @@ class SoftwareEncryptionOverlay:
         conventional-filesystem reference of Figure 1(a)."""
         self.device = device
         self.costs = costs or SoftwareCosts()
-        # Standalone fallback; Machine injects a cache with a registered bundle.
-        # repro-lint: disable=stats-registered
+        # Standalone fallback; Machine injects a cache with a registered
+        # bundle, and the overlay owns its internal cache either way.
+        # repro-lint: disable=stats-registered,builder-owns-wiring
         self.page_cache = page_cache or PageCache(PageCacheConfig())
         self.stats = stats or StatCounters("sw_encryption")
         self.encrypted = encrypted

@@ -51,6 +51,9 @@ DEFAULTS: Dict[str, object] = {
     "nvm-write-paths": ["repro/mem/", "repro/secmem/", "repro/core/", "repro/faults/"],
     # Where the config-not-component contract applies.
     "benchmark-paths": ["benchmarks/"],
+    # The one module allowed to construct wired machine components
+    # (builder-owns-wiring).
+    "builder-paths": ["repro/sim/build.py"],
     # The one module allowed to touch CounterBlock fields directly.
     "counter-modules": ["repro/secmem/counters.py"],
     # Narrowest *_BITS width policed as a literal mask/shift.

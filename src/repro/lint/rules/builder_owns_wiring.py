@@ -1,0 +1,81 @@
+"""builder-owns-wiring — machine wiring happens in the MachineBuilder.
+
+The scheme-registry contract (docs/SCHEMES.md): a scheme column is a
+declarative :class:`~repro.sim.schemes.SchemeSpec`, and the *only* place
+that turns a spec into live components is
+:class:`~repro.sim.build.MachineBuilder`.  Code elsewhere that calls
+``FsEncrController(...)`` or ``DaxFilesystem(...)`` directly forks the
+construction path: its machine silently stops matching what the
+registry (and therefore every figure, sweep, and cache key) describes
+the moment the builder's wiring changes.
+
+This rule flags direct constructor calls of the wired component set —
+controllers, the filesystem/overlay pair, the MMIO channel, the WPQ,
+the cache hierarchy, the OTT, the crash domain, and the recovery
+objects (Osiris, Anubis, the shadow table) — anywhere outside the
+builder module itself (``builder-paths``, default
+``repro/sim/build.py``).  The passive :class:`~repro.mem.NVMDevice` is
+deliberately not in the set: white-box unit tests and probes build bare
+devices all the time, and a device carries no scheme-dependent wiring.
+Deliberate white-box constructions (security proofs, transport probes,
+ablation benchmarks) suppress inline with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, Project, SourceFile, path_matches
+from .base import Rule, register
+
+#: Components whose construction *is* machine wiring.  One entry per
+#: class the builder knows how to place; keep in sync with
+#: ``repro.sim.build``'s imports.
+WIRED_COMPONENTS = frozenset(
+    {
+        "PlainMemoryController",
+        "BaselineSecureController",
+        "FsEncrController",
+        "CacheHierarchy",
+        "DaxFilesystem",
+        "SoftwareEncryptionOverlay",
+        "PageCache",
+        "MMIORegisters",
+        "WritePendingQueue",
+        "OpenTunnelTable",
+        "CrashDomain",
+        "OsirisRecovery",
+        "AnubisRecovery",
+        "ShadowTable",
+    }
+)
+
+
+@register
+class BuilderOwnsWiring(Rule):
+    name = "builder-owns-wiring"
+    summary = "machine components are wired by MachineBuilder, nowhere else"
+    contract = "docs/SCHEMES.md: construction lives in repro.sim.build"
+
+    def check(self, src: SourceFile, project: Project, options) -> Iterator[Finding]:
+        builder_paths = options.get("builder-paths", ["repro/sim/build.py"])
+        if path_matches(src.rel, builder_paths):
+            return
+        if path_matches(src.rel, ["tests/"]):
+            # Unit tests construct components white-box by design.
+            return
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", None)
+            if name not in WIRED_COMPONENTS:
+                continue
+            yield self.finding(
+                src,
+                node,
+                f"{name} constructed outside the MachineBuilder; route machine "
+                f"wiring through repro.sim.build (or suppress with a "
+                f"justification for white-box use)",
+            )

@@ -85,6 +85,18 @@ class ShadowTable:
             self._free.append(slot)
             self._emit_write(slot)  # mark-invalid write
 
+    def slot_addr(self, metadata_addr: int) -> int:
+        """NVM address of the shadow slot covering a tracked line
+        (recovery reads it back from here)."""
+        return self.base_addr + self._slots[metadata_addr] * LINE_SIZE
+
+    def reset(self) -> None:
+        """Post-recovery: every tracked line was restored and re-
+        journalled, so the shadow region starts empty (no writes — the
+        invalid marks are subsumed by recovery's own persists)."""
+        self._slots.clear()
+        self._free = list(range(self.capacity - 1, -1, -1))
+
     def tracked_lines(self) -> Set[int]:
         """What a crash would need to recover — exactly the dirty set."""
         return set(self._slots)

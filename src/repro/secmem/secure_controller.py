@@ -99,6 +99,12 @@ class BaselineSecureController(MemoryControllerBase):
         # this in functional mode), every functional line write is staged
         # through it so a crash can tear or drop the in-flight tail.
         self.crash_domain = None
+        # Anubis wiring (attached by the builder for "+anubis" scheme
+        # columns): the shadow table mirrors counter lines whose latest
+        # update has not reached NVM, and _anubis_counters journals the
+        # exact values a recovery reading the shadow region would find.
+        self.anubis_shadow = None
+        self._anubis_counters: Dict[int, tuple] = {}
         # Persisted-counter journal: the values a post-crash reader would
         # find in the NVM counter lines.  Updated on every counter-line
         # NVM write (stop-loss, eviction, drain, overflow); recovery
@@ -146,6 +152,7 @@ class BaselineSecureController(MemoryControllerBase):
             self.stats.add("metadata_writebacks")
             self.osiris.note_persisted(eviction.addr)
             self._journal_counter_persist(eviction.addr)
+            self._anubis_forget(eviction.addr)
 
     def _journal_counter_persist(self, addr: int) -> None:
         """Record what a counter-line NVM write makes durable.
@@ -231,6 +238,7 @@ class BaselineSecureController(MemoryControllerBase):
         block = self.mecb.block(page)
         overflowed = block.bump(line_index)
         latency = 0.0
+        persisted = False
         if overflowed:
             self.stats.add("minor_overflows")
             latency += self._reencrypt_page(page)
@@ -243,6 +251,7 @@ class BaselineSecureController(MemoryControllerBase):
             self.osiris.note_persisted(counter_addr)
             self.metadata_cache.clean_line(counter_addr, self._kind_for(counter_addr))
             self._journal_counter_persist(counter_addr)
+            persisted = True
         if self.osiris.note_update(counter_addr):
             # Stop-loss write-through of the counter line.  Posted: it
             # consumes device bandwidth (and shows up in the write
@@ -251,7 +260,50 @@ class BaselineSecureController(MemoryControllerBase):
             self.stats.add("osiris_counter_persists")
             self.metadata_cache.clean_line(counter_addr, self._kind_for(counter_addr))
             self._journal_counter_persist(counter_addr)
+            persisted = True
+        self._anubis_note_update(counter_addr, persisted)
         return latency
+
+    # ------------------------------------------------------------------
+    # Anubis shadow tracking (wired by the builder for "+anubis" columns)
+    # ------------------------------------------------------------------
+
+    def _anubis_note_update(self, counter_addr: int, persisted: bool) -> None:
+        """Mirror one counter update into the shadow table.
+
+        A persisted update (overflow or stop-loss write-through) makes
+        the NVM home copy current, so the shadow entry retires; an
+        unpersisted one (re-)records the line with its live values —
+        Anubis updates the shadow entry in place on every counter write,
+        which is exactly the runtime-writes-for-recovery-time trade.
+        """
+        if self.anubis_shadow is None:
+            return
+        if persisted:
+            self._anubis_forget(counter_addr)
+            return
+        snapshot = self._anubis_snapshot(counter_addr)
+        if snapshot is None:
+            return
+        self.anubis_shadow.note_insert(counter_addr)
+        self._anubis_counters[counter_addr] = snapshot
+
+    def _anubis_forget(self, counter_addr: int) -> None:
+        """The NVM home copy is current again: drop the shadow entry."""
+        if self.anubis_shadow is None:
+            return
+        self.anubis_shadow.note_evict(counter_addr)
+        self._anubis_counters.pop(counter_addr, None)
+
+    def _anubis_snapshot(self, addr: int):
+        """Shadow-entry payload for a counter line (None = not shadowed;
+        Merkle nodes are rebuilt at reboot, not shadow-restored)."""
+        if self.layout.mecb_base <= addr < self.layout.fecb_base:
+            page = (addr - self.layout.mecb_base) // LINE_SIZE
+            block = self.mecb.peek(page)
+            if block is not None:
+                return ("mecb", page, block.major, tuple(block.minors))
+        return None
 
     def _kind_for(self, counter_addr: int) -> str:
         return (
@@ -418,6 +470,7 @@ class BaselineSecureController(MemoryControllerBase):
             self.device.write(victim.addr)
             self.osiris.note_persisted(victim.addr)
             self._journal_counter_persist(victim.addr)
+            self._anubis_forget(victim.addr)
         self.stats.add("drain_writes", len(victims))
         return len(victims)
 

@@ -1,0 +1,209 @@
+"""Machine construction — the one module that wires components.
+
+:class:`MachineBuilder` composes a :class:`~repro.sim.machine.Machine`
+from a :class:`~repro.sim.schemes.SchemeSpec` plus a
+:class:`~repro.sim.config.MachineConfig`: the spec says *what kind* of
+machine (controller family, MMIO channel, page-cache overlay, recovery
+wiring), the config says *how big and how fast*.  ``Machine.__init__``
+is pure orchestration over these factory methods, in the exact
+component order the golden-stats digests pin down.
+
+The ``builder-owns-wiring`` lint rule enforces the corollary: outside
+this module (and tests), nobody constructs controllers, filesystems,
+overlays, or recovery objects directly — benchmarks and analyses speak
+configs and registry names.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..core.fsencr import FsEncrController
+from ..core.ott import OpenTunnelTable
+from ..faults.domain import CrashDomain
+from ..fs.ecryptfs import SoftwareEncryptionOverlay
+from ..fs.ext4dax import DaxFilesystem
+from ..kernel.mmio import MMIORegisters
+from ..kernel.page_cache import PageCache, PageCacheConfig
+from ..mem.controller import PlainMemoryController
+from ..mem.hierarchy import CacheHierarchy
+from ..mem.nvm import NVMDevice
+from ..mem.wpq import WritePendingQueue
+from ..secmem.anubis import AnubisRecovery, ShadowTable
+from ..secmem.osiris import OsirisRecovery
+from ..secmem.secure_controller import BaselineSecureController
+from .config import MachineConfig
+from .schemes import SchemeSpec, get_scheme, spec_for_config
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .machine import Machine
+
+__all__ = [
+    "MachineBuilder",
+    "build_machine",
+    "make_osiris_recovery",
+    "make_anubis_shadow",
+    "make_anubis_recovery",
+]
+
+
+class MachineBuilder:
+    """Composes one machine's components from spec + config.
+
+    The builder is stateless between calls; every method takes the
+    machine under construction so stats bundles land in its registry in
+    the canonical creation order (nvm, [ott,] controller + metadata
+    bundles, hierarchy, tlb/mmu, [mmio,] fs, [page_cache, sw_overlay,]
+    [wpq,] [anubis]) — the order the golden digests depend on.
+    """
+
+    def __init__(self, spec: SchemeSpec, config: Optional[MachineConfig] = None) -> None:
+        self.spec = spec
+        self.config = config if config is not None else spec.configure()
+
+    @classmethod
+    def for_config(cls, config: MachineConfig) -> "MachineBuilder":
+        """The builder for a bare config (legacy ``Machine(config)`` path)."""
+        return cls(spec_for_config(config), config)
+
+    # -- component factories (called by Machine.__init__, in order) -----
+
+    def build_device(self, machine: "Machine") -> NVMDevice:
+        return NVMDevice(
+            timing=self.config.nvm_timing, stats=machine.registry.create("nvm")
+        )
+
+    def build_controller(self, machine: "Machine", device: NVMDevice):
+        registry = machine.registry
+        if self.spec.controller == "plain":
+            return PlainMemoryController(
+                device=device, stats=registry.create("controller")
+            )
+        kwargs = {}
+        if self.spec.controller == "fsencr":
+            controller_cls = FsEncrController
+            # OTT geometry is a config knob (§III-E ablation axis).
+            kwargs["ott"] = OpenTunnelTable(
+                banks=self.config.ott_banks,
+                entries_per_bank=self.config.ott_entries_per_bank,
+                stats=registry.create("ott"),
+            )
+        else:
+            controller_cls = BaselineSecureController
+        controller = controller_cls(
+            layout=machine.layout,
+            config=self.config.controller_config(),
+            device=device,
+            stats=registry.create("controller"),
+            **kwargs,
+        )
+        # Surface the secure controller's sub-component counters in run
+        # results (metadata cache hit rates etc. feed the analyses).
+        registry.register(controller.metadata_cache.stats)
+        registry.register(controller.merkle.stats)
+        registry.register(controller.osiris.stats)
+        if isinstance(controller, FsEncrController):
+            registry.register(controller.ott_region.stats)
+        return controller
+
+    def build_hierarchy(self, machine: "Machine") -> CacheHierarchy:
+        return CacheHierarchy(self.config.hierarchy, registry=machine.registry)
+
+    def build_mmio(self, machine: "Machine") -> Optional[MMIORegisters]:
+        if not self.spec.mmio:
+            return None
+        return MMIORegisters(
+            target=machine.controller, stats=machine.registry.create("mmio")
+        )
+
+    def build_filesystem(self, machine: "Machine") -> DaxFilesystem:
+        return DaxFilesystem(
+            pmem_base=self.config.pmem_base,
+            pmem_bytes=self.config.pmem_bytes,
+            users=machine.users,
+            keyring=machine.keyring,
+            mmio=machine.mmio,
+            costs=self.config.software_costs,
+            stats=machine.registry.create("fs"),
+        )
+
+    def build_overlay(
+        self, machine: "Machine", device: NVMDevice
+    ) -> Optional[SoftwareEncryptionOverlay]:
+        if not self.spec.uses_page_cache:
+            return None
+        return SoftwareEncryptionOverlay(
+            device=device,
+            costs=self.config.software_costs,
+            page_cache=PageCache(
+                PageCacheConfig(self.config.page_cache_pages),
+                stats=machine.registry.create("page_cache"),
+            ),
+            stats=machine.registry.create("sw_overlay"),
+            encrypted=self.spec.overlay_encrypted,
+        )
+
+    def build_wpq(self, machine: "Machine") -> Optional[WritePendingQueue]:
+        if not self.config.model_wpq:
+            return None
+        return WritePendingQueue(
+            self.config.wpq, stats=machine.registry.create("wpq")
+        )
+
+    def attach_crash_support(self, machine: "Machine", device: NVMDevice) -> None:
+        """Crash lifecycle: in functional mode the secure controller
+        stages every line write through a CrashDomain sized like the
+        WPQ, so crash() can tear or drop exactly the at-risk tail.
+        Anubis columns additionally get the shadow table mirroring the
+        metadata cache's dirty counter lines into its NVM region."""
+        controller = machine.controller
+        if self.config.functional and hasattr(controller, "crash_domain"):
+            controller.crash_domain = CrashDomain(depth=self.config.wpq.entries)
+        if self.config.anubis_recovery and hasattr(controller, "anubis_shadow"):
+            # Shadow writes are posted like Osiris write-throughs: they
+            # consume device bandwidth (device.write) but never stall
+            # the triggering store.
+            controller.anubis_shadow = make_anubis_shadow(
+                self.config,
+                write_hook=device.write,
+                stats=machine.registry.create("anubis"),
+            )
+
+
+def build_machine(scheme, config: Optional[MachineConfig] = None) -> "Machine":
+    """One registered column, built: ``build_machine("fsencr+anubis")``.
+
+    ``config`` (optional) is the base the spec projects onto — cache
+    sizes, timings, ``functional`` — while the spec controls scheme
+    identity and wiring.
+    """
+    from .machine import Machine
+
+    spec = get_scheme(scheme)
+    return Machine(builder=MachineBuilder(spec, spec.configure(config)))
+
+
+# -- recovery-object factories (config-driven, like the controllers) ----
+
+
+def make_osiris_recovery(config: MachineConfig, stats=None) -> OsirisRecovery:
+    """The Osiris trial-decryption recoverer for ``config``'s stop-loss
+    window (used at reboot and by the recovery ablation)."""
+    return OsirisRecovery(stop_loss=config.stop_loss, stats=stats)
+
+
+def make_anubis_shadow(
+    config: MachineConfig, write_hook=None, stats=None
+) -> ShadowTable:
+    """The Anubis shadow table sized by ``config``'s knobs."""
+    return ShadowTable(
+        capacity_lines=config.anubis_shadow_lines,
+        base_addr=config.anubis_shadow_base,
+        write_hook=write_hook,
+        stats=stats,
+    )
+
+
+def make_anubis_recovery(config: MachineConfig, stats=None) -> AnubisRecovery:
+    """The Anubis-side recoverer (reads back the shadow region)."""
+    return AnubisRecovery(stats=stats)

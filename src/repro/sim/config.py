@@ -17,9 +17,7 @@ from ..mem.cache import CacheConfig
 from ..mem.hierarchy import HierarchyConfig
 from ..mem.nvm import NVMTiming
 from ..mem.wpq import WPQConfig
-from ..secmem.anubis import AnubisRecovery, ShadowTable
 from ..secmem.metadata_cache import MetadataCacheConfig
-from ..secmem.osiris import OsirisRecovery
 from ..secmem.secure_controller import SecureControllerConfig
 
 __all__ = ["Scheme", "MachineConfig", "scaled_hierarchy", "SCALE_FACTOR"]
@@ -118,6 +116,11 @@ class MachineConfig:
     #: the dedicated NVM region the shadow writes land in.
     anubis_shadow_lines: int = 64
     anubis_shadow_base: int = 0x1000_0000
+    #: Wire the Anubis shadow table into the controller's counter-update
+    #: path (the "+anubis" recovery column): runtime shadow-region
+    #: writes buy reboot recovery proportional to the metadata cache.
+    #: Scheme variants pin this via the registry (repro.sim.schemes).
+    anubis_recovery: bool = False
     seed: int = 0x5EED
 
     def __post_init__(self) -> None:
@@ -140,25 +143,29 @@ class MachineConfig:
             metadata_cache=self.metadata_cache,
         )
 
-    # -- recovery-object builders (config-driven, like the controllers) --
+    # -- recovery-object builders ---------------------------------------
+    # Thin delegates: construction lives in repro.sim.build (the
+    # builder-owns-wiring contract); imported lazily to keep config a
+    # leaf module.
 
-    def build_osiris_recovery(self, stats=None) -> OsirisRecovery:
+    def build_osiris_recovery(self, stats=None) -> "OsirisRecovery":
         """The Osiris trial-decryption recoverer for this machine's
         stop-loss window (used at reboot and by the recovery ablation)."""
-        return OsirisRecovery(stop_loss=self.stop_loss, stats=stats)
+        from .build import make_osiris_recovery
 
-    def build_anubis_shadow(self, write_hook=None, stats=None) -> ShadowTable:
+        return make_osiris_recovery(self, stats=stats)
+
+    def build_anubis_shadow(self, write_hook=None, stats=None) -> "ShadowTable":
         """The Anubis shadow table sized by this config's knobs."""
-        return ShadowTable(
-            capacity_lines=self.anubis_shadow_lines,
-            base_addr=self.anubis_shadow_base,
-            write_hook=write_hook,
-            stats=stats,
-        )
+        from .build import make_anubis_shadow
 
-    def build_anubis_recovery(self, stats=None) -> AnubisRecovery:
+        return make_anubis_shadow(self, write_hook=write_hook, stats=stats)
+
+    def build_anubis_recovery(self, stats=None) -> "AnubisRecovery":
         """The Anubis-side recoverer (reads back the shadow region)."""
-        return AnubisRecovery(stats=stats)
+        from .build import make_anubis_recovery
+
+        return make_anubis_recovery(self, stats=stats)
 
     @classmethod
     def paper_scale(cls, **overrides) -> "MachineConfig":

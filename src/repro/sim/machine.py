@@ -31,27 +31,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..core.fsencr import FsEncrController
-from ..core.ott import OpenTunnelTable
-from ..faults.domain import CrashDomain
-from ..fs.ecryptfs import SoftwareEncryptionOverlay
-from ..fs.ext4dax import DaxFilesystem, FileHandle
+from ..fs.ext4dax import FileHandle
 from ..kernel.costs import SoftwareCosts
 from ..kernel.keyring import Keyring
-from ..kernel.mmio import MMIORegisters
 from ..kernel.mmu import MMU
 from ..kernel.tlb import TLB
-from ..kernel.page_cache import PageCache, PageCacheConfig
 from ..mem.address import LINE_SIZE, PAGE_SIZE, line_address
-from ..mem.controller import MemoryRequest, PlainMemoryController
-from ..mem.hierarchy import CacheHierarchy
+from ..mem.controller import MemoryRequest
 from ..mem.nvm import NVMDevice
 from ..mem.stats import StatsRegistry
-from ..mem.wpq import WritePendingQueue
 from ..secmem.layout import MetadataLayout
-from ..secmem.secure_controller import BaselineSecureController
 from ..fs.permissions import UserDatabase
-from .config import MachineConfig, Scheme
+from .build import MachineBuilder
+from .config import MachineConfig
 from .histograms import LatencyHistogram
 from .results import RunResult
 
@@ -93,49 +85,38 @@ class ProcessContext:
 class Machine:
     """One simulated system under one scheme."""
 
-    def __init__(self, config: Optional[MachineConfig] = None) -> None:
-        self.config = config or MachineConfig()
+    def __init__(
+        self,
+        config: Optional[MachineConfig] = None,
+        builder: Optional[MachineBuilder] = None,
+    ) -> None:
+        # All wiring decisions live in the builder (and the SchemeSpec
+        # behind it); __init__ only orchestrates component order — the
+        # order stats bundles register in, which the golden digests pin.
+        if builder is None:
+            builder = MachineBuilder.for_config(
+                config if config is not None else MachineConfig()
+            )
+        elif config is not None and config != builder.config:
+            raise ValueError("pass either config or a builder, not conflicting both")
+        self.config = builder.config
+        self.scheme_spec = builder.spec
         self.registry = StatsRegistry()
         self.clock_ns = 0.0
 
         self.layout = MetadataLayout(data_bytes=self.config.total_memory_bytes)
-        device = NVMDevice(timing=self.config.nvm_timing, stats=self.registry.create("nvm"))
-        self.controller = self._build_controller(device)
-        self.hierarchy = CacheHierarchy(self.config.hierarchy, registry=self.registry)
+        device = builder.build_device(self)
+        self.controller = builder.build_controller(self, device)
+        self.hierarchy = builder.build_hierarchy(self)
         self._processes: Dict[int, ProcessContext] = {}
         self._current_pid = 0
         self._create_process_context(0)
 
         self.users = UserDatabase()
         self.keyring = Keyring()
-        self.mmio = (
-            MMIORegisters(target=self.controller, stats=self.registry.create("mmio"))
-            if self.config.scheme is Scheme.FSENCR
-            else None
-        )
-        self.fs = DaxFilesystem(
-            pmem_base=self.config.pmem_base,
-            pmem_bytes=self.config.pmem_bytes,
-            users=self.users,
-            keyring=self.keyring,
-            mmio=self.mmio,
-            costs=self.config.software_costs,
-            stats=self.registry.create("fs"),
-        )
-        self.overlay = (
-            SoftwareEncryptionOverlay(
-                device=device,
-                costs=self.config.software_costs,
-                page_cache=PageCache(
-                    PageCacheConfig(self.config.page_cache_pages),
-                    stats=self.registry.create("page_cache"),
-                ),
-                stats=self.registry.create("sw_overlay"),
-                encrypted=self.config.scheme is Scheme.SOFTWARE_ENCRYPTION,
-            )
-            if self.config.scheme.uses_page_cache
-            else None
-        )
+        self.mmio = builder.build_mmio(self)
+        self.fs = builder.build_filesystem(self)
+        self.overlay = builder.build_overlay(self, device)
 
         # Measurement window: the paper fast-forwards workloads to the
         # post-file-creation point; mark_measurement_start() is that
@@ -148,11 +129,7 @@ class Machine:
         self.latency_histogram: Optional[LatencyHistogram] = None
 
         # Persist-path model: fixed ADR constant or an explicit WPQ.
-        self.wpq = (
-            WritePendingQueue(self.config.wpq, stats=self.registry.create("wpq"))
-            if self.config.model_wpq
-            else None
-        )
+        self.wpq = builder.build_wpq(self)
 
         # Anonymous (non-PMEM) physical pages come from below the PMEM
         # region; shadow page-cache copies also live there.
@@ -160,49 +137,11 @@ class Machine:
         self._anon_limit_pfn = self.config.pmem_base // PAGE_SIZE
         self._shadow_pfns: Dict[Tuple[int, int], int] = {}
 
-        # Crash lifecycle: in functional mode the secure controller
-        # stages every line write through a CrashDomain sized like the
-        # WPQ, so crash() can tear or drop exactly the at-risk tail.
+        # Crash lifecycle wiring (CrashDomain staging, Anubis shadow).
         self._crashed = False
         self.last_crash_report = None
         self.last_recovery_report = None
-        if self.config.functional and hasattr(self.controller, "crash_domain"):
-            self.controller.crash_domain = CrashDomain(depth=self.config.wpq.entries)
-
-    # ------------------------------------------------------------------
-    # Construction helpers
-    # ------------------------------------------------------------------
-
-    def _build_controller(self, device: NVMDevice):
-        scheme = self.config.scheme
-        if scheme.uses_page_cache or scheme is Scheme.EXT4DAX_PLAIN:
-            return PlainMemoryController(device=device, stats=self.registry.create("controller"))
-        controller_cls = (
-            FsEncrController if scheme is Scheme.FSENCR else BaselineSecureController
-        )
-        kwargs = {}
-        if controller_cls is FsEncrController:
-            # OTT geometry is a config knob (§III-E ablation axis).
-            kwargs["ott"] = OpenTunnelTable(
-                banks=self.config.ott_banks,
-                entries_per_bank=self.config.ott_entries_per_bank,
-                stats=self.registry.create("ott"),
-            )
-        controller = controller_cls(
-            layout=self.layout,
-            config=self.controller_config(),
-            device=device,
-            stats=self.registry.create("controller"),
-            **kwargs,
-        )
-        # Surface the secure controller's sub-component counters in run
-        # results (metadata cache hit rates etc. feed the analyses).
-        self.registry.register(controller.metadata_cache.stats)
-        self.registry.register(controller.merkle.stats)
-        self.registry.register(controller.osiris.stats)
-        if isinstance(controller, FsEncrController):
-            self.registry.register(controller.ott_region.stats)
-        return controller
+        builder.attach_crash_support(self, device)
 
     def controller_config(self):
         return self.config.controller_config()
@@ -362,7 +301,7 @@ class Machine:
             return self.costs.minor_fault_ns
 
         file_page = region.file_page(vpn)
-        if self.config.scheme.uses_page_cache:
+        if self.scheme_spec.uses_page_cache:
             # Non-DAX: the mapping points at the page-cache shadow copy;
             # residency (and its cost) is charged per access.
             key = (region.handle.inode.i_ino, file_page)

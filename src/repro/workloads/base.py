@@ -19,6 +19,7 @@ from typing import Dict, Iterable, List, Optional
 from ..sim.config import MachineConfig, Scheme
 from ..sim.machine import Machine
 from ..sim.results import Comparison, ResultTable, RunResult
+from ..sim.schemes import SchemeRef, canonical_scheme_name, get_scheme
 
 __all__ = ["Workload", "run_workload", "compare_schemes", "WorkloadComparison"]
 
@@ -75,18 +76,27 @@ class WorkloadComparison:
     workload: str
     runs: Dict[str, RunResult]
 
-    def against(self, baseline_scheme: Scheme, scheme: Scheme) -> Comparison:
+    def against(self, baseline_scheme: SchemeRef, scheme: SchemeRef) -> Comparison:
+        """Baseline-normalised row; schemes by registry name or enum."""
         return Comparison.of(
-            self.runs[scheme.value], self.runs[baseline_scheme.value]
+            self.runs[canonical_scheme_name(scheme)],
+            self.runs[canonical_scheme_name(baseline_scheme)],
         )
 
 
 def compare_schemes(
     workload_factory,
     config: Optional[MachineConfig] = None,
-    schemes: Iterable[Scheme] = (Scheme.BASELINE_SECURE, Scheme.FSENCR),
+    schemes: Iterable[SchemeRef] = ("baseline_secure", "fsencr"),
 ) -> WorkloadComparison:
     """Run one workload under several schemes on otherwise-equal machines.
+
+    ``schemes`` entries are registry names (``"fsencr"``,
+    ``"fsencr+wpq"``, ...); :class:`~repro.sim.config.Scheme` members
+    are accepted for compatibility.  Each name's
+    :class:`~repro.sim.schemes.SchemeSpec` projects the shared base
+    config onto its column, so variant schemes carry their pins (WPQ,
+    Anubis, partitioned cache) without the caller hand-building configs.
 
     ``workload_factory()`` must return a *fresh* workload each call —
     workloads may hold per-run state (allocator cursors, in-memory
@@ -96,8 +106,10 @@ def compare_schemes(
     runs: Dict[str, RunResult] = {}
     name = None
     for scheme in schemes:
+        scheme_name = canonical_scheme_name(scheme)
         workload = workload_factory()
         name = workload.name
-        runs[scheme.value] = run_workload(base_config.with_scheme(scheme), workload)
+        run_config = get_scheme(scheme_name).configure(base_config)
+        runs[scheme_name] = run_workload(run_config, workload)
     assert name is not None, "schemes iterable was empty"
     return WorkloadComparison(workload=name, runs=runs)

@@ -46,7 +46,7 @@ def lint_tree(tmp_path: Path, files: dict, rule: str = None):
     return findings, suppressed
 
 
-def test_registry_has_all_nine_rules():
+def test_registry_has_all_ten_rules():
     assert set(RULES) == {
         "bit-width-bounds",
         "counter-overflow-handled",
@@ -57,6 +57,7 @@ def test_registry_has_all_nine_rules():
         "persist-through-wpq",
         "stats-registered",
         "config-not-component",
+        "builder-owns-wiring",
     }
     for rule in RULES.values():
         assert rule.summary and rule.contract
@@ -691,6 +692,59 @@ def test_config_not_component_allows_configs_and_src_usage(tmp_path):
             """,
         },
         rule="config-not-component",
+    )
+    assert findings == []
+
+
+# -- builder-owns-wiring --------------------------------------------------
+
+
+def test_builder_owns_wiring_flags_construction_outside_builder(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "src/repro/analysis/adhoc.py",
+        """
+        from ..core.fsencr import FsEncrController
+        from ..secmem.anubis import ShadowTable
+        def probe(layout):
+            controller = FsEncrController(layout=layout)
+            controller.anubis_shadow = ShadowTable(capacity=4, base_addr=0)
+            return controller
+        """,
+        rule="builder-owns-wiring",
+    )
+    assert len(findings) == 2
+    assert any("FsEncrController constructed outside" in f.message for f in findings)
+    assert any("ShadowTable constructed outside" in f.message for f in findings)
+
+
+def test_builder_owns_wiring_quiet_in_builder_tests_and_devices(tmp_path):
+    findings, _ = lint_tree(
+        tmp_path,
+        {
+            # The builder module is the one sanctioned construction site.
+            "src/repro/sim/build.py": """
+                from ..core.fsencr import FsEncrController
+                from ..fs.dax import DaxFilesystem
+                def build_controller(layout):
+                    return FsEncrController(layout=layout)
+                def build_filesystem(machine):
+                    return DaxFilesystem(machine)
+            """,
+            # Unit tests construct components white-box by design.
+            "tests/test_white_box.py": """
+                from repro.secmem.anubis import ShadowTable
+                def test_table():
+                    assert ShadowTable(capacity=1, base_addr=0).occupancy == 0
+            """,
+            # NVMDevice is deliberately outside the wired set.
+            "src/repro/analysis/probe.py": """
+                from ..mem.nvm import NVMDevice
+                def fresh_device():
+                    return NVMDevice()
+            """,
+        },
+        rule="builder-owns-wiring",
     )
     assert findings == []
 

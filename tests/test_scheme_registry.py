@@ -1,0 +1,315 @@
+"""Scheme registry + MachineBuilder: declarative columns, bit-identical machines.
+
+Three contracts in one module:
+
+1. **Bit-identity.**  The builder refactor must be invisible in the
+   numbers: machines built through the registry produce results
+   byte-for-byte equal to the seed implementation's, pinned here as
+   sha256 digests of canonical result JSON.
+2. **Cache-key stability.**  Every pre-existing ``CellSpec`` must keep
+   its pre-existing content hash (the ``.repro-cache`` of a seed
+   checkout stays valid), while new variant columns get new keys.
+3. **Extension.**  ``fsencr+anubis`` and ``fsencr+partitioned`` exist
+   purely as registry entries — these tests prove the declared columns
+   build, run, crash, and recover end-to-end.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro.exec.spec import CellSpec, canonical_json, cell_key
+from repro.faults.plan import FAULT_PROFILES, FaultPlan
+from repro.faults.sweep import matrix_configs
+from repro.sim.build import MachineBuilder, build_machine
+from repro.sim.config import MachineConfig, Scheme
+from repro.sim.machine import Machine
+from repro.sim.schemes import (
+    SchemeSpec,
+    all_specs,
+    canonical_scheme_name,
+    comparison_pair,
+    crash_matrix_names,
+    get_scheme,
+    motivation_pair,
+    scheme_names,
+    spec_for_config,
+)
+from repro.workloads import make_whisper_workload
+from repro.workloads.base import run_workload
+
+LINE = 64
+
+#: sha256 of the canonical result JSON of ``run_workload`` with
+#: Hashmap/ops=300 on each legacy scheme's default config — captured on
+#: the seed implementation.  The builder must never move these.
+GOLDEN_RUN_DIGESTS = {
+    "conventional": "d6dd478e445a7e5a7ede87b21d432ff62b1dbf35c32ec7c242c8dfb960f47836",
+    "ext4dax_plain": "4fced5c7f693d00c019f98d90510d1903f8a30b2df39089d351170a670dce13f",
+    "software_encryption": "e5cc6e38f30f4980f59557b014c4d41f6b3baf0b1e2f7f8b0f81ff4c985f4cf1",
+    "baseline_secure": "01f8732067f5ca3c4c35ab138439315f52c68683e4ec814222698c26e4e9744e",
+    "fsencr": "9ef252c954f21f90d3841d1ea569704dd742ad058ab951d63257e041068e0857",
+}
+
+#: Canonical-JSON sha256 of the sweep cells the crash matrix built on
+#: the seed (workload DAX-3, default base, seed 0xC0FFEE).  These are
+#: the content addresses of cached matrix results, so the registry
+#: re-route must reproduce them exactly.
+GOLDEN_SWEEP_CELL_HASHES = {
+    ("fsencr", "counter-flips"): "c8bd5b282441606fcb7d6cc42f9336ccbf6c205ebe9b471a17fd25bfd54f0208",
+    ("fsencr", "mixed"): "3a0fe783d74f7a62273989ede3378f37a85a4794889bc9fa2735c7812f6ee4e0",
+    ("fsencr", "torn-burst"): "bfa3138f545c6f9b1bfa44e7b7b2feb7bb475b7e021edea8dd9969b4869c6cea",
+    ("baseline_secure", "counter-flips"): "83e0958552b46ebc9aab43dcc5e43725b73ea6b7c1bc3ce377e1622b408d3914",
+    ("baseline_secure", "mixed"): "3408be7130ec78d54ff01d7a296514bd113feeb28d175e13fc75d1cc8b3228d2",
+    ("baseline_secure", "torn-burst"): "5cdbfe6e515de95aa4ffa5f4e69517d033f87d4d5f3df0a5c72faa44d8638457",
+    ("fsencr+wpq", "counter-flips"): "ba68e1f55dc760a6536b735ab239c314f4bdaf1ed0205258cf3d08e14b461193",
+    ("fsencr+wpq", "mixed"): "fba180cfd8a39e2a792741f0c6b710fcc06e7b37fc0764d6f8b3adbd760d38d1",
+    ("fsencr+wpq", "torn-burst"): "20f980a1f101edb5ccf29c4f732f53e6285ab1e0fa049c204913efbb0fd6653a",
+}
+
+
+def result_digest(scheme_name: str) -> str:
+    config = get_scheme(scheme_name).configure(MachineConfig())
+    result = run_workload(config, make_whisper_workload("Hashmap", ops=300))
+    blob = json.dumps(result.to_dict(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class TestRegistry:
+    def test_legacy_columns_registered(self):
+        assert set(GOLDEN_RUN_DIGESTS) <= set(scheme_names())
+
+    def test_canonicalisation_accepts_name_enum_and_spec(self):
+        assert canonical_scheme_name("fsencr") == "fsencr"
+        assert canonical_scheme_name(" FsEncr ") == "fsencr"
+        assert canonical_scheme_name(Scheme.BASELINE_SECURE) == "baseline_secure"
+        assert canonical_scheme_name(get_scheme("fsencr+wpq")) == "fsencr+wpq"
+
+    def test_unknown_scheme_lists_registered_names(self):
+        with pytest.raises(ValueError, match="fsencr"):
+            canonical_scheme_name("nvme-of")
+
+    def test_roles_resolve_to_figure_pairs(self):
+        assert comparison_pair() == ("baseline_secure", "fsencr")
+        assert motivation_pair() == ("ext4dax_plain", "software_encryption")
+
+    def test_crash_matrix_order_is_declared_not_hardcoded(self):
+        assert crash_matrix_names() == (
+            "fsencr",
+            "baseline_secure",
+            "fsencr+wpq",
+            "fsencr+anubis",
+        )
+        assert [name for name, _cfg in matrix_configs()] == list(crash_matrix_names())
+
+    def test_variant_pins_project_onto_base_config(self):
+        base = MachineConfig()
+        wpq = get_scheme("fsencr+wpq").configure(base)
+        assert wpq.model_wpq and wpq.scheme is Scheme.FSENCR
+        anubis = get_scheme("fsencr+anubis").configure(base)
+        assert anubis.anubis_recovery
+        # The transform sizes the shadow to mirror the metadata cache.
+        cache = anubis.metadata_cache
+        assert anubis.anubis_shadow_lines == cache.size_bytes // cache.line_size
+        part = get_scheme("fsencr+partitioned").configure(base)
+        assert part.metadata_cache.partitioned
+        # The plain column pins its identity *off* on variant bases.
+        assert not get_scheme("fsencr").configure(anubis).anubis_recovery
+
+    def test_spec_for_config_picks_most_specific_variant(self):
+        assert spec_for_config(MachineConfig()).name == "fsencr"
+        assert spec_for_config(get_scheme("fsencr+anubis").configure(None)).name == "fsencr+anubis"
+        assert spec_for_config(MachineConfig(scheme=Scheme.CONVENTIONAL)).name == "conventional"
+
+    def test_controller_kind_is_validated(self):
+        with pytest.raises(ValueError, match="controller kind"):
+            SchemeSpec(name="x", scheme=Scheme.FSENCR, label="x", controller="quantum")
+
+
+class TestBuilder:
+    def test_every_registered_scheme_builds_and_runs(self):
+        for spec in all_specs():
+            machine = build_machine(spec.name, MachineConfig(functional=True))
+            assert machine.scheme_spec.name == spec.name
+            machine.add_user(uid=1000, gid=100, passphrase="pw")
+            handle = machine.create_file(
+                "/pmem/f", uid=1000, encrypted=spec.has_file_encryption
+            )
+            base = machine.mmap(handle, pages=1)
+            machine.store_bytes(base, b"\xab" * LINE)
+            machine.persist(base, LINE)
+            assert machine.load_bytes(base, LINE) == b"\xab" * LINE
+
+    def test_machine_rejects_conflicting_config_and_builder(self):
+        builder = MachineBuilder(get_scheme("fsencr"))
+        with pytest.raises(ValueError, match="conflicting"):
+            Machine(MachineConfig(scheme=Scheme.CONVENTIONAL), builder=builder)
+
+    @pytest.mark.parametrize("scheme_name", sorted(GOLDEN_RUN_DIGESTS))
+    def test_builder_machines_bit_identical_to_seed(self, scheme_name):
+        assert result_digest(scheme_name) == GOLDEN_RUN_DIGESTS[scheme_name]
+
+
+class TestCacheKeyStability:
+    def test_compare_cell_canonical_hash_unchanged(self):
+        spec = CellSpec(
+            kind="compare",
+            workload="Hashmap",
+            config=MachineConfig(),
+            ops=1500,
+            schemes=("baseline_secure", "fsencr"),
+        )
+        digest = hashlib.sha256(canonical_json(spec).encode()).hexdigest()
+        assert digest == "bde45f19163187447de7038c0a6e43cd36364301dc7fbc896e0ff9b398302b82"
+        assert cell_key(spec, "fixed-fingerprint") == (
+            "f110829115534c9789bafadbb3851697bbffc6ec76dc35e0d28b851dd747e711"
+        )
+
+    def test_fig15_cell_canonical_hash_unchanged(self):
+        spec = CellSpec(
+            kind="compare",
+            workload="DAX-2",
+            config=MachineConfig().with_metadata_cache(4096),
+            iterations=6000,
+            schemes=("baseline_secure", "fsencr"),
+        )
+        digest = hashlib.sha256(canonical_json(spec).encode()).hexdigest()
+        assert digest == "8999987c556a076fbd9b0454a4a92b07274a703f74bbb8997a93d5392cee361e"
+
+    def test_matrix_sweep_cells_keep_their_hashes(self):
+        seen = {}
+        for name, config in matrix_configs():
+            for profile_name in sorted(FAULT_PROFILES):
+                spec = CellSpec(
+                    kind="sweep",
+                    workload="DAX-3",
+                    config=config,
+                    plan=FAULT_PROFILES[profile_name].with_seed(0xC0FFEE),
+                    max_points=8,
+                    sweep_seed=0xC0FFEE,
+                    name="DAX-3",
+                )
+                seen[(name, profile_name)] = hashlib.sha256(
+                    canonical_json(spec).encode()
+                ).hexdigest()
+        for key, digest in GOLDEN_SWEEP_CELL_HASHES.items():
+            assert seen[key] == digest, key
+        # The new column exists and keys differently from plain fsencr.
+        for profile_name in sorted(FAULT_PROFILES):
+            anubis_key = seen[("fsencr+anubis", profile_name)]
+            assert anubis_key not in GOLDEN_SWEEP_CELL_HASHES.values()
+
+    def test_cellspec_canonicalises_scheme_spellings(self):
+        by_enum = CellSpec(
+            kind="compare",
+            workload="Hashmap",
+            config=MachineConfig(),
+            schemes=(Scheme.BASELINE_SECURE, "  FSENCR "),
+        )
+        by_name = CellSpec(
+            kind="compare",
+            workload="Hashmap",
+            config=MachineConfig(),
+            schemes=("baseline_secure", "fsencr"),
+        )
+        assert by_enum.schemes == ("baseline_secure", "fsencr")
+        assert canonical_json(by_enum) == canonical_json(by_name)
+
+    def test_cellspec_rejects_unregistered_scheme(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            CellSpec(
+                kind="compare",
+                workload="Hashmap",
+                config=MachineConfig(),
+                schemes=("fsencr+vapourware",),
+            )
+
+
+def _staged_machine(scheme_name: str, stores: int = 41):
+    """A functional machine with ``stores`` persisted line writes.
+
+    41 deliberately: counter stop-loss is 4, and an exact multiple would
+    persist the final update and retire every Anubis shadow entry —
+    leaving nothing for recovery to prove anything about.
+    """
+    machine = build_machine(scheme_name, MachineConfig(functional=True))
+    machine.add_user(uid=1000, gid=100, passphrase="pw")
+    handle = machine.create_file("/pmem/f", uid=1000, encrypted=True)
+    base = machine.mmap(handle, pages=1)
+    for i in range(stores):
+        addr = base + (i % 8) * LINE
+        machine.store_bytes(addr, bytes([1 + (i % 250)]) * LINE)
+        machine.persist(addr, LINE)
+    return machine
+
+
+class TestAnubisColumn:
+    def test_shadow_tracks_unpersisted_counters_at_runtime(self):
+        machine = _staged_machine("fsencr+anubis")
+        shadow = machine.controller.anubis_shadow
+        assert shadow is not None
+        assert shadow.occupancy > 0
+        assert shadow.stats.stat("shadow_writes") > 0
+        # Plain fsencr keeps the shadow entirely out of the machine.
+        plain = build_machine("fsencr", MachineConfig(functional=True))
+        assert plain.controller.anubis_shadow is None
+
+    def test_clean_drain_recovery_restores_from_shadow(self):
+        machine = _staged_machine("fsencr+anubis")
+        machine.crash(FaultPlan(seed=7, drain_fraction=1.0))
+        report = machine.reboot()
+        assert report.anubis_lines_restored > 0
+        assert report.failed_lines == ()
+
+        baseline = _staged_machine("fsencr")
+        baseline.crash(FaultPlan(seed=7, drain_fraction=1.0))
+        baseline_report = baseline.reboot()
+        assert baseline_report.anubis_lines_restored == 0
+        # Shadow-restored counters skip Osiris's upward trial search, so
+        # the Anubis column recovers with strictly fewer trials.
+        assert report.trials < baseline_report.trials
+
+    def test_shadow_resets_and_machine_survives_reboot(self):
+        machine = _staged_machine("fsencr+anubis")
+        machine.crash(FaultPlan(seed=11, drain_fraction=1.0))
+        machine.reboot()
+        assert machine.controller.anubis_shadow.occupancy == 0
+        assert machine.controller._anubis_counters == {}
+        handle = machine.create_file("/pmem/g", uid=1000, encrypted=True)
+        base = machine.mmap(handle, pages=1)
+        machine.store_bytes(base, b"\x5a" * LINE)
+        machine.persist(base, LINE)
+        assert machine.load_bytes(base, LINE) == b"\x5a" * LINE
+
+    def test_lossy_crash_accounts_every_line_loudly(self):
+        """Anubis installs *live* counter values, so data writes dropped
+        in flight (sealed under older counters) must fail ECC loudly —
+        possibly with more explicit failures than Osiris-only fsencr,
+        never with silent resurrection.  Every checked line lands in
+        recovered-or-failed; none vanish from the accounting."""
+        machine = _staged_machine("fsencr+anubis")
+        machine.crash(FaultPlan(seed=7, drain_fraction=0.3, torn_probability=0.4))
+        report = machine.reboot()
+        assert report.lines_checked > 0
+        assert report.lines_recovered + len(report.failed_lines) == report.lines_checked
+
+    def test_sweep_audit_finds_no_silent_corruption(self):
+        """The full line-by-line audit (sweep_workload reads back every
+        line against recorded truth) on the fsencr+anubis column."""
+        from repro.faults.sweep import sweep_workload
+        from repro.workloads import make_dax_micro
+
+        config = get_scheme("fsencr+anubis").configure(MachineConfig())
+        sweep = sweep_workload(
+            lambda: make_dax_micro("DAX-3", iterations=200),
+            config,
+            plan=FAULT_PROFILES["mixed"].with_seed(0xC0FFEE),
+            max_points=2,
+            name="DAX-3",
+        )
+        assert len(sweep.points) == 2
+        assert sweep.silent_corruptions == 0
+        assert sweep.scheme == "fsencr"  # column label lives in the matrix key
