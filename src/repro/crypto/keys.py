@@ -111,8 +111,11 @@ class KeyHierarchy:
     """
 
     def __init__(self, memory_key: bytes, ott_key: bytes) -> None:
-        for name, key in (("memory_key", memory_key), ("ott_key", ott_key)):
-            if len(key) != KEY_SIZE:
+        # Validate via lengths only: the key bytes themselves must stay
+        # out of the raise path (key-material-taint).
+        sizes = {"memory_key": len(memory_key), "ott_key": len(ott_key)}
+        for name, size in sizes.items():
+            if size != KEY_SIZE:
                 raise ValueError(f"{name} must be {KEY_SIZE} bytes")
         self._memory_key = bytes(memory_key)
         self._ott_key = bytes(ott_key)

@@ -15,7 +15,7 @@ import hashlib
 from pathlib import Path
 from typing import Optional
 
-__all__ = ["source_fingerprint", "reset_fingerprint_cache"]
+__all__ = ["file_fingerprint", "source_fingerprint", "reset_fingerprint_cache"]
 
 #: Directory names never part of the simulator's behaviour.
 _SKIP = {"__pycache__"}
@@ -45,6 +45,16 @@ def source_fingerprint(root: Optional[Path] = None) -> str:
     return _fingerprint(Path(root))
 
 
+def file_fingerprint(path: Path) -> str:
+    """Hex digest of one file's bytes.
+
+    This is the per-file half of the tree fingerprint; the lint flow
+    index (``repro.lint.flow``) keys its incremental cache on it so both
+    caches agree on what "this file changed" means.
+    """
+    return hashlib.sha256(Path(path).read_bytes()).hexdigest()
+
+
 def _fingerprint(root: Path) -> str:
     outer = hashlib.sha256()
     for path in sorted(root.rglob("*.py")):
@@ -53,7 +63,7 @@ def _fingerprint(root: Path) -> str:
         rel = path.relative_to(root).as_posix()
         outer.update(rel.encode())
         outer.update(b"\0")
-        outer.update(hashlib.sha256(path.read_bytes()).digest())
+        outer.update(bytes.fromhex(file_fingerprint(path)))
         outer.update(b"\0")
     return outer.hexdigest()
 

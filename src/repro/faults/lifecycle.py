@@ -527,13 +527,15 @@ def reboot_machine(machine) -> RecoveryReport:
                 _, page, gid, fid, major, minors = snap
                 final_fecb[page] = (gid, fid, major, list(minors))
 
-        anubis_result = machine.config.build_anubis_recovery().recover(
-            anubis_table, _install_from_shadow
-        )
+        anubis_result = machine.config.build_anubis_recovery(
+            stats=machine.registry.ensure("anubis_recovery")
+        ).recover(anubis_table, _install_from_shadow)
         anubis_restored = anubis_result.recovered_lines
 
     if functional:
-        osiris_recovery = machine.config.build_osiris_recovery()
+        osiris_recovery = machine.config.build_osiris_recovery(
+            stats=machine.registry.ensure("osiris_recovery")
+        )
         ecc_map = controller.store.scan_ecc()
         by_page: Dict[int, List[int]] = {}
         for addr in sorted(ecc_map):

@@ -49,9 +49,44 @@ class Baseline:
         return cls(entries, reasons)
 
     @classmethod
-    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+    def from_findings(
+        cls, findings: List[Finding], previous: "Baseline" = None
+    ) -> "Baseline":
+        """A baseline accepting exactly ``findings``.
+
+        ``previous`` carries human ``reason`` annotations forward for
+        fingerprints that still occur — re-running ``--write-baseline``
+        must never silently strip the documented rationale for debt.
+        """
         entries = Counter(f.fingerprint for f in findings)
-        return cls(entries)
+        reasons: Dict[Tuple[str, str, str], str] = {}
+        if previous is not None:
+            reasons = {
+                fingerprint: reason
+                for fingerprint, reason in previous.reasons.items()
+                if fingerprint in entries
+            }
+        return cls(entries, reasons)
+
+    def pruned(self, findings: List[Finding]) -> "Baseline":
+        """This baseline with paid-off debt removed.
+
+        Entry counts are clamped to the number of matching findings that
+        still occur (an entry none of them matches disappears); reasons
+        survive on whatever remains.
+        """
+        actual = Counter(f.fingerprint for f in findings)
+        entries = Counter()
+        for fingerprint, count in self.entries.items():
+            kept = min(count, actual.get(fingerprint, 0))
+            if kept:
+                entries[fingerprint] = kept
+        reasons = {
+            fingerprint: reason
+            for fingerprint, reason in self.reasons.items()
+            if fingerprint in entries
+        }
+        return Baseline(entries, reasons)
 
     def write(self, path: Path) -> None:
         items = []

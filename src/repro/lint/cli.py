@@ -18,8 +18,9 @@ from typing import Dict, List, Optional
 
 from .baseline import Baseline, split_findings
 from .config import load_config
-from .engine import LintError, lint_paths
+from .engine import LintError, Project, SourceFile, collect_files, lint_sources
 from .rules import RULES
+from .sarif import to_sarif
 
 __all__ = ["main", "run"]
 
@@ -42,9 +43,26 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="output format (json is what CI consumes)",
+        help="output format (json for scripts, sarif for code-scanning upload)",
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="lint only files changed per git (plus their reverse-import "
+        "dependents via the flow graph); analysis stays whole-program",
+    )
+    parser.add_argument(
+        "--graph",
+        action="store_true",
+        help="dump the whole-program flow graph (imports, call edges, stats) "
+        "as JSON and exit",
+    )
+    parser.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help="rewrite the baseline file without stale (paid-off) entries and exit",
     )
     parser.add_argument(
         "--strict",
@@ -111,6 +129,31 @@ def _list_rules(fmt: str) -> int:
     return 0
 
 
+def _git_changed_rels(root: Path) -> List[str]:
+    """Repo-relative paths git considers changed: worktree + staged +
+    untracked (the files a developer is about to commit)."""
+    import subprocess
+
+    rels: List[str] = []
+    commands = [
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ]
+    for command in commands:
+        try:
+            proc = subprocess.run(
+                command,
+                cwd=root,
+                capture_output=True,
+                text=True,
+                check=True,
+            )
+        except (OSError, subprocess.CalledProcessError) as exc:
+            raise LintError(f"--changed needs a git checkout: {exc}")
+        rels.extend(line.strip() for line in proc.stdout.splitlines() if line.strip())
+    return sorted(set(rels))
+
+
 def run(argv: Optional[List[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -126,7 +169,39 @@ def run(argv: Optional[List[str]] = None) -> int:
 
     raw_paths = args.paths or options.get("paths", ["."])
     paths = [Path(p) if Path(p).is_absolute() else root / p for p in raw_paths]
-    findings, suppressed, file_count = lint_paths(paths, root, rules, options)
+    files = collect_files(paths, root)
+    sources = [SourceFile.parse(path, root) for path in files]
+    project = Project(root=root, files=sources)
+    project.index()
+
+    if args.graph:
+        flow = project.flow(options)
+        payload = dict(flow.graph.graph_dump(), index_cache=flow.cache_stats.to_dict())
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    only: Optional[set] = None
+    if args.changed:
+        changed = set(_git_changed_rels(root))
+        known = {src.rel for src in sources}
+        changed &= known
+        if changed:
+            # Expand to reverse-import dependents so a touched leaf
+            # re-checks whoever depends on it; any flow failure falls
+            # back to the changed files alone.
+            try:
+                flow = project.flow(options)
+                only = set(flow.graph.dependents_of(sorted(changed))) & known
+                only |= changed
+            except LintError:
+                only = changed
+        else:
+            only = set()
+
+    findings, suppressed = lint_sources(
+        sources, root, rules, options, only=only, project=project
+    )
+    file_count = len(sources) if only is None else len(only)
 
     baseline_arg = args.baseline if args.baseline is not None else str(options.get("baseline", ""))
     baseline_path: Optional[Path] = None
@@ -134,15 +209,33 @@ def run(argv: Optional[List[str]] = None) -> int:
         candidate = Path(baseline_arg)
         baseline_path = candidate if candidate.is_absolute() else root / candidate
 
-    if args.write_baseline:
+    if args.write_baseline or args.prune_baseline:
         if baseline_path is None:
-            raise LintError("--write-baseline needs a baseline path (config or --baseline)")
-        Baseline.from_findings(findings).write(baseline_path)
-        print(f"repro-lint: wrote {len(findings)} finding(s) to {baseline_path}")
+            raise LintError(
+                "--write-baseline/--prune-baseline need a baseline path "
+                "(config or --baseline)"
+            )
+        if only is not None:
+            raise LintError("--changed cannot rewrite the baseline (partial view)")
+        previous = Baseline.load(baseline_path)
+        if args.write_baseline:
+            Baseline.from_findings(findings, previous).write(baseline_path)
+            print(f"repro-lint: wrote {len(findings)} finding(s) to {baseline_path}")
+            return 0
+        pruned = previous.pruned(findings)
+        dropped = sum(previous.entries.values()) - sum(pruned.entries.values())
+        pruned.write(baseline_path)
+        print(
+            f"repro-lint: pruned {dropped} stale entr"
+            f"{'y' if dropped == 1 else 'ies'} from {baseline_path}"
+        )
         return 0
 
     baseline = Baseline.load(baseline_path) if baseline_path is not None else Baseline()
     new, baselined, stale = split_findings(findings, baseline)
+    if only is not None:
+        # A partial lint cannot tell paid-off debt from unvisited files.
+        stale = []
 
     exit_code = 1 if new or (args.strict and stale) else 0
     summary = {
@@ -152,6 +245,12 @@ def run(argv: Optional[List[str]] = None) -> int:
         "stale_baseline": len(stale),
         "files": file_count,
     }
+    if project._flow is not None:
+        summary["flow"] = project._flow.summary_stats()
+
+    if args.format == "sarif":
+        print(json.dumps(to_sarif(new, baselined), indent=2))
+        return exit_code
 
     if args.format == "json":
         payload = {
@@ -170,8 +269,8 @@ def run(argv: Optional[List[str]] = None) -> int:
     if stale:
         for entry in stale:
             print(
-                f"stale baseline entry: {entry['rule']} in {entry['path']} "
-                f"(x{entry['count']}) no longer occurs — remove it"
+                f"warning: stale-baseline: {entry['rule']} in {entry['path']} "
+                f"(x{entry['count']}) no longer occurs — run --prune-baseline"
             )
     status = "FAILED" if exit_code else "ok"
     print(

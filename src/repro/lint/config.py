@@ -58,6 +58,23 @@ DEFAULTS: Dict[str, object] = {
     "counter-modules": ["repro/secmem/counters.py"],
     # Narrowest *_BITS width policed as a literal mask/shift.
     "mask-min-bits": 14,
+    # Where the incremental flow index lives (repo-root relative; empty
+    # string disables persistence, keeping each run in memory).
+    "flow-index-dir": ".repro-lint-index",
+    # Worker execution entry points ("module:qualname") for the
+    # worker-entropy-reachability rule.  execute_cell is the pure cell
+    # evaluator; the runner's timing wrapper legitimately reads the host
+    # clock *around* it, never inside it.
+    "flow-entry-points": ["repro.exec.spec:execute_cell"],
+    # Functions whose return value is raw key material (key-material-taint
+    # seeds; resolved against the call graph by bare name).
+    "key-source-functions": [
+        "generate_fek",
+        "derive_fekek",
+        "unwrap_key",
+        "derive_file_key",
+        "rotated_file_key",
+    ],
 }
 
 _SECTION = "repro-lint"

@@ -177,6 +177,22 @@ class Project:
     stats_classes: Dict[str, int] = field(default_factory=dict)
     #: classes defined in component layers that benchmarks must not build.
     component_classes: Dict[str, str] = field(default_factory=dict)  # name -> defining rel path
+    #: lazily-built whole-program analysis (repro.lint.flow.FlowAnalysis),
+    #: shared by every flow rule in one lint pass.
+    _flow: Optional[object] = field(default=None, repr=False, compare=False)
+
+    def flow(self, options: Dict[str, object]):
+        """The whole-program :class:`~repro.lint.flow.FlowAnalysis`.
+
+        Built on first use from the *configured* lint paths (unioned with
+        the files in this project), so flow rules reason about the whole
+        program even when only a subset of files is being linted.
+        """
+        if self._flow is None:
+            from .flow import build_flow  # local import: flow imports engine
+
+            self._flow = build_flow(self.root, options, self.files)
+        return self._flow
 
     def index(self) -> None:
         for src in self.files:
@@ -329,17 +345,26 @@ def lint_sources(
     root: Path,
     rules: Iterable,
     options: Dict[str, object],
+    only: Optional[Set[str]] = None,
+    project: Optional[Project] = None,
 ) -> Tuple[List[Finding], int]:
     """Run ``rules`` over parsed sources.
 
     Returns ``(active_findings, suppressed_count)`` — suppressed findings
     are dropped, everything else is sorted by location.
+
+    ``only`` restricts which files findings are *reported* for while the
+    cross-file index (and the flow graph) still sees every source — the
+    ``--changed`` contract: narrow output, whole-program analysis.
     """
-    project = Project(root=root, files=sources)
-    project.index()
+    if project is None:
+        project = Project(root=root, files=sources)
+        project.index()
     active: List[Finding] = []
     suppressed = 0
     for src in sources:
+        if only is not None and src.rel not in only:
+            continue
         for rule in rules:
             for finding in rule.check(src, project, options):
                 if src.suppressed(finding):

@@ -1,0 +1,151 @@
+"""Incremental on-disk index cache for module summaries.
+
+Extraction (one full AST walk per file) dominates flow-graph build time,
+and almost every lint run sees an almost-unchanged tree — so summaries
+are cached under ``.repro-lint-index/`` keyed on each file's content
+fingerprint (the same per-file hash ``repro.exec.fingerprint`` feeds the
+result cache, so both caches agree on what "changed" means).
+
+The cache is a single JSON document: ``{rel: {fingerprint, summary}}``.
+A warm run loads it once, serves every unchanged file without parsing
+it, re-extracts the rest, and atomically rewrites the document.  A
+corrupt or version-skewed cache is treated as empty — never an error.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ...exec.fingerprint import file_fingerprint
+from .index import INDEX_FORMAT, ModuleSummary, extract_module
+
+__all__ = ["IndexCacheStats", "FlowIndexCache", "load_summaries"]
+
+_CACHE_FILE = "index.json"
+
+
+@dataclass
+class IndexCacheStats:
+    """Hit/miss accounting for one load_summaries pass."""
+
+    files: int = 0
+    hits: int = 0
+    misses: int = 0
+    parse_errors: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "files": self.files,
+            "hits": self.hits,
+            "misses": self.misses,
+            "parse_errors": self.parse_errors,
+        }
+
+
+class FlowIndexCache:
+    """The ``.repro-lint-index/`` persistence layer.
+
+    ``directory=None`` disables persistence entirely (every file is a
+    miss and nothing is written) — the engine uses that for one-shot
+    in-memory runs, e.g. linting fixture trees in tests that opt out.
+    """
+
+    def __init__(self, directory: Optional[Path]) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        self._entries: Dict[str, Dict] = {}
+        self._loaded = False
+
+    # -- persistence -----------------------------------------------------
+
+    def _load(self) -> None:
+        if self._loaded:
+            return
+        self._loaded = True
+        if self.directory is None:
+            return
+        path = self.directory / _CACHE_FILE
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if raw.get("format") != INDEX_FORMAT:
+            return
+        entries = raw.get("files")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def save(self) -> None:
+        if self.directory is None:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {"format": INDEX_FORMAT, "files": self._entries}
+        path = self.directory / _CACHE_FILE
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, separators=(",", ":")), encoding="utf-8")
+        os.replace(tmp, path)
+
+    # -- lookup ----------------------------------------------------------
+
+    def get(self, rel: str, fingerprint: str) -> Optional[ModuleSummary]:
+        self._load()
+        entry = self._entries.get(rel)
+        if entry is None or entry.get("fingerprint") != fingerprint:
+            return None
+        try:
+            return ModuleSummary.from_dict(entry["summary"])
+        except (KeyError, TypeError):
+            return None
+
+    def put(self, rel: str, fingerprint: str, summary: ModuleSummary) -> None:
+        self._load()
+        self._entries[rel] = {"fingerprint": fingerprint, "summary": summary.to_dict()}
+
+    def prune(self, live_rels) -> None:
+        """Drop entries for files that no longer exist in the lint set."""
+        self._load()
+        keep = set(live_rels)
+        for rel in list(self._entries):
+            if rel not in keep:
+                del self._entries[rel]
+
+
+def load_summaries(
+    files: List[Tuple[Path, str]],
+    cache: FlowIndexCache,
+) -> Tuple[Dict[str, ModuleSummary], IndexCacheStats]:
+    """Summaries for ``(path, rel)`` pairs, served from cache when clean.
+
+    Files that fail to parse are skipped (counted in ``parse_errors``) —
+    the ordinary lint pass reports syntax errors properly; the flow graph
+    just proceeds without the broken module.
+    """
+    stats = IndexCacheStats(files=len(files))
+    out: Dict[str, ModuleSummary] = {}
+    for path, rel in files:
+        try:
+            fingerprint = file_fingerprint(path)
+        except OSError:
+            stats.parse_errors += 1
+            continue
+        cached = cache.get(rel, fingerprint)
+        if cached is not None:
+            stats.hits += 1
+            out[rel] = cached
+            continue
+        stats.misses += 1
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        except (OSError, SyntaxError):
+            stats.parse_errors += 1
+            continue
+        summary = extract_module(rel, tree)
+        out[rel] = summary
+        cache.put(rel, fingerprint, summary)
+    cache.prune(out.keys())
+    cache.save()
+    return out, stats

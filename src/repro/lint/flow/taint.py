@@ -1,0 +1,307 @@
+"""Interprocedural taint propagation over the flow graph.
+
+The domain is deliberately simple — a set of tainted *names* per
+function (plus tainted ``self.<attr>`` slots per class and tainted
+returns per function), each carrying a human-readable provenance string.
+Propagation is monotone (taint only ever grows, provenance is
+first-writer-wins), so the worklist terminates.
+
+Seeding and the pass-through policy:
+
+* a call resolving to a configured *source function* taints its result;
+* key-ish parameter and attribute names (``fek``, ``fekek``, ``*_key``,
+  ...) taint inside the configured crypto paths — the same vocabulary
+  the per-file ``key-hygiene`` rule uses, lifted interprocedurally;
+* calls to *unknown* callees pass taint from arguments to result (so
+  ``bytes(key)``, ``key.hex()``, string concatenation helpers keep the
+  taint alive) except for the extraction-time sanitizer set (``len``,
+  strong digests, ``encrypt_block``), whose subtrees are already pruned
+  from the summaries;
+* calls to *resolved* callees taint the callee's matching parameters
+  and return the callee's return-taint, giving genuine two-hop flows.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Optional, Set, Tuple
+
+from ..engine import path_matches
+from .graph import FlowGraph
+from .index import FunctionSummary, ModuleSummary
+
+__all__ = ["TaintState", "solve_taint", "DEFAULT_KEY_SOURCES", "flow_keyish"]
+
+#: Bare "key" is excluded on purpose: ``for key in mapping`` and cache
+#: lookup keys would otherwise seed taint all over the tree.  The
+#: remaining vocabulary (fek, fekek, *_key) is unambiguous.
+_FLOW_KEYISH_EXACT = {"fek", "fekek", "file_key", "plaintext_key"}
+
+
+def flow_keyish(name: str) -> bool:
+    """Does an identifier *unambiguously* bind raw key material?
+
+    Stricter than :func:`repro.lint.rules.base.is_keyish` — whole-program
+    propagation amplifies every false seed, so the flow layer drops the
+    generic ``key`` spelling the per-file rule still polices.
+    """
+    lowered = name.lower().lstrip("_")
+    return lowered in _FLOW_KEYISH_EXACT or lowered.endswith("_key")
+
+#: Functions whose return value *is* raw key material (resolved by bare
+#: name against the call graph; all live in repro/crypto/keys.py).
+DEFAULT_KEY_SOURCES = (
+    "generate_fek",
+    "derive_fekek",
+    "unwrap_key",
+    "derive_file_key",
+    "rotated_file_key",
+)
+
+_LOCAL_FIXPOINT_CAP = 10
+
+#: Builtins whose result *is* (a view of) their argument: taint passes
+#: straight through.  Arbitrary unknown calls do NOT pass taint — an
+#: unresolved ``install(key)`` returning a latency would otherwise smear
+#: key taint over every integer downstream (precision over recall).
+_IDENTITY_FNS = frozenset(
+    {
+        "bytes", "bytearray", "memoryview", "str", "repr", "ascii",
+        "format", "list", "tuple", "set", "frozenset", "dict", "sorted",
+        "reversed", "min", "max", "sum", "abs", "copy", "deepcopy", "hex",
+    }
+)
+
+
+class TaintState:
+    """The solved taint facts, queryable per function."""
+
+    def __init__(self, graph: FlowGraph, sources: Set[str], crypto_paths) -> None:
+        self.graph = graph
+        self.sources = sources
+        self.crypto_paths = list(crypto_paths)
+        #: fnkey -> {name: provenance}; names include "self.attr" slots.
+        self.locals: Dict[str, Dict[str, str]] = {}
+        #: fnkey -> provenance of a tainted return value
+        self.returns: Dict[str, str] = {}
+        #: (module name, class bare name) -> {attr: provenance}
+        self.class_attrs: Dict[Tuple[str, str], Dict[str, str]] = {}
+
+    # -- scoping helpers -------------------------------------------------
+
+    def _in_crypto_path(self, summary: ModuleSummary) -> bool:
+        return path_matches(summary.rel, self.crypto_paths)
+
+    def _class_of(self, fnkey: str) -> Optional[Tuple[str, str]]:
+        module, _, qualname = fnkey.partition(":")
+        if "." not in qualname:
+            return None
+        return (module, qualname.rsplit(".", 1)[0].split(".")[-1])
+
+    # -- expression evaluation ------------------------------------------
+
+    def expr_taint(self, fnkey: str, expr: Dict) -> Optional[str]:
+        """Provenance if the summarised expression carries taint."""
+        summary, fn = self.graph.functions[fnkey]
+        local = self.locals.get(fnkey, {})
+        crypto = self._in_crypto_path(summary)
+        for name in expr.get("names", ()):
+            if name in local:
+                return local[name]
+            if crypto and flow_keyish(name):
+                return f"key-named binding '{name}'"
+        cls = self._class_of(fnkey)
+        for chain in expr.get("attrs", ()):
+            dotted = ".".join(chain)
+            if dotted in local:
+                return local[dotted]
+            if chain[0] == "self" and cls is not None and len(chain) == 2:
+                shared = self.class_attrs.get(cls, {})
+                if chain[1] in shared:
+                    return shared[chain[1]]
+            # Attribute reads are field-sensitive by *name*, everywhere:
+            # ``handle.fek`` is key material no matter which module reads
+            # it (the handle object itself is deliberately not tainted).
+            if flow_keyish(chain[-1]):
+                return f"key attribute '.{chain[-1]}'"
+        for call_index in expr.get("calls", ()):
+            provenance = self.call_taint(fnkey, call_index)
+            if provenance is not None:
+                return provenance
+        return None
+
+    def call_taint(self, fnkey: str, call_index: int) -> Optional[str]:
+        """Provenance if the call's *result* is tainted."""
+        _summary, fn = self.graph.functions[fnkey]
+        call = fn.calls[call_index]
+        resolution = self.graph.resolutions[fnkey][call_index]
+        tail = call["chain"][-1]
+        if tail in self.sources:
+            return f"{tail}() key material"
+        if resolution.origin is not None:
+            origin_tail = resolution.origin.split(".")[-1]
+            if origin_tail in self.sources:
+                return f"{origin_tail}() key material"
+        for target in resolution.targets:
+            if target in self.returns:
+                return self.returns[target]  # provenance travels verbatim
+        if resolution.targets or resolution.result_types:
+            # Resolved functions propagate via their return taint only;
+            # resolved constructors deliberately do NOT taint the object
+            # they build — a handle *carrying* a key is not itself key
+            # bytes (the sinks check constructor arguments directly, and
+            # named ``.fek``-style field reads re-taint on access).
+            return None
+        # ``key.hex()``-style methods on a tainted receiver stay tainted.
+        if len(call["chain"]) >= 2 and call["chain"][0] != "<dynamic>":
+            receiver = call["chain"][:-1]
+            pseudo = {
+                "names": [receiver[0]] if len(receiver) == 1 else [],
+                "attrs": [receiver] if len(receiver) > 1 else [],
+            }
+            provenance = self.expr_taint(fnkey, pseudo)
+            if provenance is not None:
+                return provenance
+        # Identity-ish builtins pass argument taint to their result.
+        if tail in _IDENTITY_FNS:
+            for arg in call["args"]:
+                provenance = self.expr_taint(fnkey, arg)
+                if provenance is not None:
+                    return provenance
+            for arg in call["kwargs"].values():
+                provenance = self.expr_taint(fnkey, arg)
+                if provenance is not None:
+                    return provenance
+        return None
+
+    # -- mutation (solver only) -----------------------------------------
+
+    def taint_local(self, fnkey: str, name: str, provenance: str) -> bool:
+        table = self.locals.setdefault(fnkey, {})
+        changed = False
+        if name not in table:
+            table[name] = provenance
+            changed = True
+        if name.startswith("self."):
+            cls = self._class_of(fnkey)
+            if cls is not None:
+                shared = self.class_attrs.setdefault(cls, {})
+                attr = name[len("self."):]
+                if attr not in shared:
+                    shared[attr] = provenance
+                    changed = True
+        return changed
+
+
+def _param_for_arg(fn: FunctionSummary, position: int) -> Optional[str]:
+    """Positional-arg -> parameter name, skipping a leading self/cls."""
+    params = fn.params
+    if params and params[0] in ("self", "cls") and "." in fn.qualname:
+        params = params[1:]
+    if 0 <= position < len(params):
+        return params[position]
+    return None
+
+
+def solve_taint(graph: FlowGraph, options: Dict) -> TaintState:
+    """Run the worklist to fixpoint and return the solved state."""
+    sources = set(options.get("key-source-functions", DEFAULT_KEY_SOURCES))
+    crypto_paths = options.get("crypto-paths", [])
+    state = TaintState(graph, sources, crypto_paths)
+
+    # Seed: key-ish parameters inside crypto paths.
+    for fnkey, (summary, fn) in graph.functions.items():
+        if not path_matches(summary.rel, crypto_paths):
+            continue
+        for param in fn.params:
+            if flow_keyish(param):
+                state.taint_local(fnkey, param, f"key parameter '{param}'")
+
+    queue: deque = deque(sorted(graph.functions))
+    queued: Set[str] = set(queue)
+    while queue:
+        fnkey = queue.popleft()
+        queued.discard(fnkey)
+        for affected in _process(graph, state, fnkey):
+            if affected not in queued:
+                queued.add(affected)
+                queue.append(affected)
+    return state
+
+
+def _process(graph: FlowGraph, state: TaintState, fnkey: str) -> Set[str]:
+    """Propagate within one function; returns functions to revisit."""
+    _summary, fn = graph.functions[fnkey]
+    affected: Set[str] = set()
+    cls = state._class_of(fnkey)
+    attrs_before = len(state.class_attrs.get(cls, {})) if cls is not None else 0
+
+    # Local fixpoint over assignments (order-independent within the cap).
+    for _round in range(_LOCAL_FIXPOINT_CAP):
+        changed = False
+        for assign in fn.assigns:
+            provenance = state.expr_taint(fnkey, assign["expr"])
+            if provenance is None:
+                continue
+            for target in assign["targets"]:
+                if state.taint_local(fnkey, target, provenance):
+                    changed = True
+        for store in fn.subscript_stores:
+            provenance = state.expr_taint(fnkey, store["expr"])
+            if provenance is None:
+                continue
+            dotted = ".".join(store["target_chain"])
+            if state.taint_local(fnkey, dotted, provenance):
+                changed = True
+        if not changed:
+            break
+
+    # Tainted returns notify callers.
+    if fnkey not in state.returns:
+        for ret in fn.returns:
+            provenance = state.expr_taint(fnkey, ret)
+            if provenance is not None:
+                state.returns[fnkey] = provenance
+                affected.update(graph.redges.get(fnkey, ()))
+                break
+
+    # Tainted arguments taint callee parameters.
+    for call_index, call in enumerate(fn.calls):
+        resolution = graph.resolutions[fnkey][call_index]
+        if not resolution.targets:
+            continue
+        for position, arg in enumerate(call["args"]):
+            provenance = state.expr_taint(fnkey, arg)
+            if provenance is None:
+                continue
+            for target in resolution.targets:
+                target_fn = graph.functions[target][1]
+                param = _param_for_arg(target_fn, position)
+                if param is not None and state.taint_local(target, param, provenance):
+                    affected.add(target)
+        for kwarg, arg in call["kwargs"].items():
+            if kwarg == "**":
+                continue
+            provenance = state.expr_taint(fnkey, arg)
+            if provenance is None:
+                continue
+            for target in resolution.targets:
+                target_fn = graph.functions[target][1]
+                if kwarg in target_fn.params and state.taint_local(
+                    target, kwarg, provenance
+                ):
+                    affected.add(target)
+
+    # A self-attribute newly tainted here becomes visible to sibling
+    # methods of the same class — revisit them (change-driven, so this
+    # cannot ping-pong once the attribute table stabilises).
+    if cls is not None and len(state.class_attrs.get(cls, {})) > attrs_before:
+        module, bare = cls
+        for summary, qual in graph.classes_by_name.get(bare, ()):
+            if summary.name != module:
+                continue
+            for method_qual in summary.classes[qual]["methods"]:
+                sibling = f"{summary.name}:{method_qual}"
+                if sibling != fnkey:
+                    affected.add(sibling)
+    return affected

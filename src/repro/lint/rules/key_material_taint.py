@@ -1,0 +1,138 @@
+"""key-material-taint — key bytes never reach an observable surface.
+
+The FsEncr threat model (PAPER §III) assumes file keys exist in
+plaintext only inside the memory controller's key registers and the
+kernel's wrapped-key metadata; the *simulator* mirrors that contract by
+keeping FEKs/FEKEKs out of everything a run externalises.  The per-file
+``key-hygiene`` rule catches direct offences (``print(fek)``); this rule
+runs on the whole-program taint solution (``repro.lint.flow``), so a key
+returned by ``repro/crypto/keys.py``, stashed in an attribute, and
+interpolated three modules later still gets flagged.
+
+Sinks, in reporting priority order at one line:
+
+* arguments to an exception constructor in a ``raise``;
+* ``StatCounters.add`` arguments (counters end up in every RunResult);
+* ``RunResult(...)`` constructor arguments (the persisted payload);
+* ``cell_key(...)`` arguments (the exec cache key is written to disk);
+* ``print``/``logging`` call arguments;
+* f-string interpolations (repr/log strings anywhere).
+
+Declassification points (``sha256(...)``, ``encrypt_block(...)``,
+``len(...)``) drop taint at extraction time — a key *fingerprint* or a
+*ciphertext* is fine to surface.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Set, Tuple
+
+from ..engine import Finding, Project, SourceFile
+from .base import Rule, register
+
+#: Logging-ish call chain tails whose arguments become user-visible text.
+_LOG_TAILS = {
+    "print",
+    "debug",
+    "info",
+    "warning",
+    "error",
+    "exception",
+    "critical",
+    "log",
+}
+
+
+@register
+class KeyMaterialTaint(Rule):
+    name = "key-material-taint"
+    summary = "key material must not flow into stats, results, cache keys, logs or errors"
+    contract = "PAPER §III: plaintext keys live only in controller registers and the keyring"
+
+    def check(self, src: SourceFile, project: Project, options) -> Iterator[Finding]:
+        flow = project.flow(options)
+        graph, taint = flow.graph, flow.taint
+        for fnkey in graph.functions_by_rel.get(src.rel, ()):
+            _summary, fn = graph.functions[fnkey]
+            flagged: Set[int] = set()
+
+            def emit(line: int, col: int, provenance: str, sink: str):
+                if line in flagged:
+                    return None
+                flagged.add(line)
+                return Finding(
+                    rule=self.name,
+                    path=src.rel,
+                    line=line,
+                    col=col + 1,
+                    message=f"key material ({provenance}) flows into {sink}",
+                )
+
+            # 1. exception messages
+            for entry in fn.raises:
+                if entry["call"] is None:
+                    continue
+                call = fn.calls[entry["call"]]
+                provenance = self._call_args_taint(taint, fnkey, call)
+                if provenance is not None:
+                    finding = emit(
+                        entry["line"], entry["col"], provenance, "an exception message"
+                    )
+                    if finding:
+                        yield finding
+
+            # 2-5. call-argument sinks
+            for index, call in enumerate(fn.calls):
+                sink = self._call_sink(graph, fnkey, index, call)
+                if sink is None:
+                    continue
+                provenance = self._call_args_taint(taint, fnkey, call)
+                if provenance is not None:
+                    finding = emit(call["line"], call["col"], provenance, sink)
+                    if finding:
+                        yield finding
+
+            # 6. f-string holes (logs, reprs, messages built anywhere)
+            for entry in fn.fstrings:
+                provenance = taint.expr_taint(fnkey, entry["expr"])
+                if provenance is not None:
+                    finding = emit(
+                        entry["line"], entry["col"], provenance, "a formatted string"
+                    )
+                    if finding:
+                        yield finding
+
+    # -- sink classification --------------------------------------------
+
+    def _call_sink(self, graph, fnkey: str, index: int, call: Dict):
+        resolution = graph.resolutions[fnkey][index]
+        tail = call["chain"][-1]
+        for target in resolution.targets:
+            qualname = target.split(":", 1)[1]
+            if qualname.endswith("StatCounters.add"):
+                return "a StatCounters counter"
+            if qualname == "cell_key" or qualname.endswith(".cell_key"):
+                return "the exec result-cache key"
+        if "RunResult" in resolution.result_types:
+            return "a RunResult payload"
+        if tail == "add" and len(call["chain"]) >= 2 and "stats" in call["chain"][-2]:
+            return "a StatCounters counter"
+        if tail == "cell_key":
+            return "the exec result-cache key"
+        if tail in _LOG_TAILS and (len(call["chain"]) == 1 or not resolution.targets):
+            return "log output"
+        return None
+
+    @staticmethod
+    def _call_args_taint(taint, fnkey: str, call: Dict):
+        for arg in call["args"]:
+            provenance = taint.expr_taint(fnkey, arg)
+            if provenance is not None:
+                return provenance
+        for name, arg in call["kwargs"].items():
+            if name == "**":
+                continue
+            provenance = taint.expr_taint(fnkey, arg)
+            if provenance is not None:
+                return provenance
+        return None

@@ -1,0 +1,96 @@
+"""persist-reaches-wpq — every NVM line write can reach the WPQ model.
+
+The crash-consistency results (Figures 9-11) are only meaningful if the
+write-pending-queue model sees every persistent write: a line written to
+the NVM device by code that can never reach a ``WritePendingQueue``
+enqueue/drain (or a ``CrashDomain.record``) is invisible to the crash
+sweep — it would survive or vanish for free.  The per-file
+``persist-through-wpq`` rule checks *where* raw device writes happen;
+this rule checks the call graph: for each ``write_line`` call site in
+the configured nvm-write-paths, some call path from a function that
+*also* leads to WPQ traffic must reach it.
+
+Concretely: let W be the set of functions that can (transitively) call a
+WPQ touch point.  The containing function of every NVM line write must
+be forward-reachable from W — equivalently, the write shares an ancestor
+with a WPQ touch, so a simulation driving that ancestor exercises both.
+
+Deliberately-functional stores (attacker's DIMM view, golden-state
+replay) are expected to carry an inline suppression explaining why the
+WPQ model must not see them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Set
+
+from ..engine import Finding, Project, SourceFile, path_matches
+from .base import Rule, register
+
+#: WPQ/CrashDomain API tails that constitute "the WPQ model saw it".
+_WPQ_TAILS = {"accept", "drain_all", "crash_drain", "record"}
+
+#: Receiver spellings accepted when the call does not resolve (the
+#: builder wires ``crash_domain`` through an Optional attribute, which
+#: the type inference cannot always pierce).
+_WPQ_RECEIVERS = {"wpq", "crash_domain", "domain"}
+
+_WPQ_CLASSES = ("WritePendingQueue", "CrashDomain")
+
+
+@register
+class PersistReachesWpq(Rule):
+    name = "persist-reaches-wpq"
+    summary = "every NVM line write must share a call path with WPQ traffic"
+    contract = "PAPER §VI: crash behaviour is modelled by draining the WPQ at fault time"
+
+    def check(self, src: SourceFile, project: Project, options) -> Iterator[Finding]:
+        nvm_paths = options.get("nvm-write-paths", [])
+        if not path_matches(src.rel, nvm_paths):
+            return
+        flow = project.flow(options)
+        graph = flow.graph
+        reachable = self._wpq_reachable(project, graph)
+        for fnkey in graph.functions_by_rel.get(src.rel, ()):
+            if fnkey in reachable:
+                continue
+            _summary, fn = graph.functions[fnkey]
+            for call in fn.calls:
+                if call["chain"][-1] != "write_line":
+                    continue
+                qualname = fnkey.split(":", 1)[1]
+                yield Finding(
+                    rule=self.name,
+                    path=src.rel,
+                    line=call["line"],
+                    col=call["col"] + 1,
+                    message=(
+                        f"NVM line write in {qualname} is unreachable from any "
+                        f"code path that touches the write-pending queue; the "
+                        f"crash sweep will never see this write"
+                    ),
+                )
+
+    def _wpq_reachable(self, project: Project, graph) -> Set[str]:
+        """Functions sharing a call path with WPQ traffic (cached on the
+        project: the set is global, the rule runs per file)."""
+        cached = getattr(project, "_wpq_reachable_cache", None)
+        if cached is not None and cached[0] is graph:
+            return cached[1]
+        direct: Set[str] = set()
+        for key, (_summary, fn) in graph.functions.items():
+            for index, call in enumerate(fn.calls):
+                chain = call["chain"]
+                if chain[-1] not in _WPQ_TAILS or len(chain) < 2:
+                    continue
+                resolution = graph.resolutions[key][index]
+                if chain[-2] in _WPQ_RECEIVERS or any(
+                    cls in target
+                    for target in resolution.targets
+                    for cls in _WPQ_CLASSES
+                ):
+                    direct.add(key)
+        ancestors = graph.callers_closure(direct)
+        reachable = set(graph.forward_reachable(sorted(ancestors)))
+        object.__setattr__(project, "_wpq_reachable_cache", (graph, reachable))
+        return reachable

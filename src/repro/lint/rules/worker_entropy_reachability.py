@@ -1,0 +1,98 @@
+"""worker-entropy-reachability — cell execution is hermetic, transitively.
+
+``repro.exec`` promises that a cell's result is a pure function of
+(CellSpec, source fingerprint): that is what makes the on-disk result
+cache and ``--jobs N`` parallelism sound (docs/RUNNER.md).  The per-file
+determinism rules police the model layers by *location*; this rule
+polices the same contract by *reachability* — starting from the worker
+entry points (default ``repro.exec.spec:execute_cell``), it walks the
+whole-program call graph and flags any reachable call that reads host
+time, process identity, or ambient randomness, wherever it lives.
+
+The runner's timing wrapper (``_execute_timed``) reads the host clock
+*around* ``execute_cell`` by design; it is not reachable *from* the
+entry point, so it never trips this rule.  Seeded ``random.Random(x)``
+construction is fine; argument-less ``random.Random()`` falls back to
+OS entropy and is flagged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..engine import Finding, Project, SourceFile
+from .base import Rule, register
+from .determinism import _TIME_FNS
+
+#: (head, tail) attribute-chain origins that vary per host/process/run.
+_ENTROPY_ORIGINS = {("os", "urandom"), ("os", "getpid"), ("os", "getrandom")}
+_UUID_TAILS = {"uuid1", "uuid4"}
+_DATETIME_TAILS = {"now", "utcnow", "today"}
+
+#: Module-level random.* API (process-global, unseeded).
+_RANDOM_GLOBAL_BANNED = True
+
+
+@register
+class WorkerEntropyReachability(Rule):
+    name = "worker-entropy-reachability"
+    summary = "no call path from cell execution entry points to host time or entropy"
+    contract = "docs/RUNNER.md: a cell result is a pure function of (spec, source fingerprint)"
+
+    def check(self, src: SourceFile, project: Project, options) -> Iterator[Finding]:
+        flow = project.flow(options)
+        graph = flow.graph
+        entries = [
+            str(e) for e in options.get("flow-entry-points", []) if str(e) in graph.functions
+        ]
+        if not entries:
+            return
+        parents = graph.forward_reachable(entries)
+        for fnkey in graph.functions_by_rel.get(src.rel, ()):
+            if fnkey not in parents:
+                continue
+            _summary, fn = graph.functions[fnkey]
+            for index, call in enumerate(fn.calls):
+                origin = self._entropy_origin(graph, fnkey, index, call)
+                if origin is None:
+                    continue
+                chain = " -> ".join(
+                    key.split(":", 1)[1] for key in graph.chain_to(parents, fnkey)
+                )
+                yield Finding(
+                    rule=self.name,
+                    path=src.rel,
+                    line=call["line"],
+                    col=call["col"] + 1,
+                    message=(
+                        f"{origin} is reachable from cell execution "
+                        f"(via {chain}); worker results must be a pure "
+                        f"function of the cell spec"
+                    ),
+                )
+
+    def _entropy_origin(self, graph, fnkey: str, index: int, call) -> str:
+        resolution = graph.resolutions[fnkey][index]
+        dotted = resolution.origin or ".".join(call["chain"])
+        parts: List[str] = dotted.split(".")
+        head, tail = parts[0], parts[-1]
+        if head == "time" and tail in _TIME_FNS:
+            return f"{dotted}() (host clock)"
+        if (head, tail) in _ENTROPY_ORIGINS:
+            return f"{dotted}() (process entropy)"
+        if head == "uuid" and tail in _UUID_TAILS:
+            return f"{dotted}() (ambient entropy)"
+        if head == "secrets":
+            return f"{dotted}() (ambient entropy)"
+        if tail in _DATETIME_TAILS and "datetime" in parts:
+            return f"{dotted}() (host clock)"
+        if head == "random" and len(parts) == 2:
+            if tail == "Random":
+                if not call["args"] and not call["kwargs"]:
+                    return "random.Random() without a seed (OS entropy)"
+                return None
+            if tail == "SystemRandom":
+                return "random.SystemRandom() (OS entropy)"
+            if tail[0].islower():
+                return f"{dotted}() (process-global RNG)"
+        return None

@@ -1,0 +1,77 @@
+"""SARIF 2.1.0 output for CI code-scanning upload.
+
+One run, one ``repro-lint`` driver, one result per finding.  Baselined
+findings are emitted with a ``suppressions`` entry (kind ``external``)
+so SARIF consumers show them as reviewed rather than new; inline-
+suppressed findings never reach this layer at all.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from .engine import Finding
+from .rules import RULES
+
+__all__ = ["to_sarif"]
+
+_SCHEMA = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+
+def _rule_descriptor(name: str) -> Dict[str, object]:
+    rule = RULES[name]
+    descriptor: Dict[str, object] = {
+        "id": name,
+        "shortDescription": {"text": rule.summary},
+    }
+    if rule.contract:
+        descriptor["fullDescription"] = {"text": f"Protects: {rule.contract}"}
+    return descriptor
+
+
+def _result(finding: Finding, baselined: bool) -> Dict[str, object]:
+    result: Dict[str, object] = {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col,
+                    },
+                }
+            }
+        ],
+    }
+    if baselined:
+        result["suppressions"] = [
+            {"kind": "external", "justification": "accepted in the repo baseline"}
+        ]
+    return result
+
+
+def to_sarif(new: Iterable[Finding], baselined: Iterable[Finding]) -> Dict[str, object]:
+    new = list(new)
+    baselined = list(baselined)
+    used = sorted({f.rule for f in new} | {f.rule for f in baselined})
+    results: List[Dict[str, object]] = [_result(f, False) for f in new]
+    results += [_result(f, True) for f in baselined]
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "docs/LINT.md",
+                        "rules": [_rule_descriptor(name) for name in used],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

@@ -91,8 +91,13 @@ class MemoryControllerBase:
     # Functional path — optional; controllers that encrypt override these.
 
     def write_data(self, addr: int, plaintext_line: bytes) -> None:
-        """Functionally store one 64 B line (plaintext view from the CPU)."""
-        self.store.write_line(addr, plaintext_line)
+        """Functionally store one 64 B line (plaintext view from the CPU).
+
+        Architectural state only — the attacker model and golden-state
+        replay install lines directly, deliberately bypassing the WPQ
+        timing model (there is no crash window to model for them).
+        """
+        self.store.write_line(addr, plaintext_line)  # repro-lint: disable=persist-reaches-wpq (functional path)
 
     def read_data(self, addr: int) -> bytes:
         """Functionally load one 64 B line back to the CPU."""

@@ -25,7 +25,7 @@ from ..fs.ecryptfs import SoftwareEncryptionOverlay
 from ..fs.ext4dax import DaxFilesystem
 from ..kernel.mmio import MMIORegisters
 from ..kernel.page_cache import PageCache, PageCacheConfig
-from ..mem.controller import PlainMemoryController
+from ..mem.controller import MemoryControllerBase, PlainMemoryController
 from ..mem.hierarchy import CacheHierarchy
 from ..mem.nvm import NVMDevice
 from ..mem.wpq import WritePendingQueue
@@ -73,7 +73,9 @@ class MachineBuilder:
             timing=self.config.nvm_timing, stats=machine.registry.create("nvm")
         )
 
-    def build_controller(self, machine: "Machine", device: NVMDevice):
+    def build_controller(
+        self, machine: "Machine", device: NVMDevice
+    ) -> MemoryControllerBase:
         registry = machine.registry
         if self.spec.controller == "plain":
             return PlainMemoryController(

@@ -46,7 +46,7 @@ def lint_tree(tmp_path: Path, files: dict, rule: str = None):
     return findings, suppressed
 
 
-def test_registry_has_all_ten_rules():
+def test_registry_has_all_fourteen_rules():
     assert set(RULES) == {
         "bit-width-bounds",
         "counter-overflow-handled",
@@ -54,8 +54,12 @@ def test_registry_has_all_ten_rules():
         "no-worker-seed-entropy",
         "integer-cycle-accounting",
         "key-hygiene",
+        "key-material-taint",
+        "persist-reaches-wpq",
         "persist-through-wpq",
+        "stats-flow",
         "stats-registered",
+        "worker-entropy-reachability",
         "config-not-component",
         "builder-owns-wiring",
     }
