@@ -98,6 +98,8 @@ def _comparison_table(
 ) -> ResultTable:
     table = ResultTable(title)
     for result in runner.run(cells):
+        if result is None:  # quarantined under failure_policy="continue"
+            continue
         comparison = WorkloadComparison(
             workload=result.payload["workload"], runs=payload_to_runs(result.payload)
         )
@@ -292,6 +294,8 @@ def figure15_cache_sensitivity(
 
     curves: Dict[str, Dict[int, float]] = {name: {} for name in names}
     for (name, size), result in zip(grid, results):
+        if result is None:  # quarantined under failure_policy="continue"
+            continue
         runs = payload_to_runs(result.payload)
         row = Comparison.of(runs[measured], runs[baseline])
         curves[name][size] = row.overhead_percent

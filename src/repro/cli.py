@@ -10,13 +10,21 @@
     python -m repro all             # everything, in paper order
     python -m repro quick           # one fast end-to-end sanity pass
     python -m repro crashsweep      # systematic crash/recovery audit
+    python -m repro cache stats     # entry counts / bytes / age
+    python -m repro cache verify    # checksum audit (exit = corrupt count)
+    python -m repro cache gc        # sweep temp files + stale entries
 
 ``--ops`` / ``--iters`` scale the workloads; ``--json PATH`` saves the
 table data for downstream plotting.  Every grid command takes ``--jobs
 N`` to fan its cells over worker processes (default: serial) and serves
 unchanged cells from ``.repro-cache/`` — ``--no-cache`` always
 simulates, ``--clear-cache`` empties the cache first, ``--cache-dir``
-relocates it (docs/RUNNER.md).  ``crashsweep`` runs the full (scheme x
+relocates it (docs/RUNNER.md).  Supervision flags shape how hard the
+runner fights for each cell: ``--timeout SECONDS`` kills hung workers,
+``--retries N`` re-runs failed cells (with ``--backoff SECONDS``
+deterministic seeded exponential delay), and ``--failure-policy
+continue`` quarantines failed cells into the run's grid report instead
+of aborting the whole grid.  ``crashsweep`` runs the full (scheme x
 fault-profile) matrix by default — narrow it with ``--scheme`` /
 ``--profile``, or shape a one-off plan with ``--profile custom`` plus
 ``--drain-fraction/--torn-prob/--torn-burst/--bit-flips/
@@ -40,7 +48,8 @@ from .analysis import (
     render_sensitivity,
     render_table1,
 )
-from .exec import ExperimentRunner
+from .exec import ExperimentRunner, ResultCache, SupervisionPolicy, source_fingerprint
+from .sim.results import run_provenance
 
 __all__ = ["main"]
 
@@ -56,10 +65,19 @@ def _make_runner(args) -> ExperimentRunner:
     jobs = args.jobs
     if jobs == 0:
         jobs = None  # ExperimentRunner(None) -> os.cpu_count()
+    # SupervisionPolicy's defaults are the historical semantics (no
+    # timeout, single attempt, fail_fast), so it is built unconditionally.
+    policy = SupervisionPolicy(
+        timeout_seconds=args.timeout,
+        max_attempts=max(0, args.retries) + 1,
+        backoff_base=args.backoff,
+        failure_policy=args.failure_policy,
+    )
     runner = ExperimentRunner(
         jobs if jobs is not None else 1,
         use_cache=not args.no_cache,
         cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+        policy=policy,
     )
     if args.clear_cache:
         removed = runner.clear_cache()
@@ -67,12 +85,25 @@ def _make_runner(args) -> ExperimentRunner:
     return runner
 
 
+def _report_failures(runner: ExperimentRunner) -> None:
+    """Under ``--failure-policy continue`` a grid can finish with
+    quarantined cells; name them rather than let a shorter table pass
+    for a complete one."""
+    report = runner.last_report
+    if report is None or not report.quarantined:
+        return
+    print(f"WARNING: {len(report.quarantined)} cell(s) quarantined:", file=sys.stderr)
+    for line in report.failure_lines():
+        print(line, file=sys.stderr)
+
+
 def _emit(table, json_path: Optional[str], runner: ExperimentRunner) -> None:
     print(table.render())
     print(runner.last_stats.summary())
+    _report_failures(runner)
     print()
     if json_path:
-        table.save_json(Path(json_path), extra={"runner": runner.last_stats.to_dict()})
+        table.save_json(Path(json_path), extra=run_provenance(runner))
         print(f"saved: {json_path}")
 
 
@@ -110,6 +141,7 @@ def _run_fig15(args, runner: Optional[ExperimentRunner] = None) -> None:
     )
     print(render_sensitivity(curves))
     print(runner.last_stats.summary())
+    _report_failures(runner)
     if args.json:
         import json
 
@@ -119,7 +151,7 @@ def _run_fig15(args, runner: Optional[ExperimentRunner] = None) -> None:
                     "curves": {
                         k: {str(s): v for s, v in c.items()} for k, c in curves.items()
                     },
-                    "runner": runner.last_stats.to_dict(),
+                    **run_provenance(runner),
                 },
                 indent=2,
             )
@@ -256,6 +288,7 @@ def _run_crashsweep(args) -> int:
     )
     print(matrix.summary())
     print(runner.last_stats.summary())
+    _report_failures(runner)
     for (scheme_label, profile_name), cell in sorted(matrix.cells.items()):
         for point in cell.points:
             print(
@@ -270,7 +303,7 @@ def _run_crashsweep(args) -> int:
                     "workload": matrix.workload,
                     "seed": matrix.seed,
                     "silent_corruptions": matrix.silent_corruptions,
-                    "runner": runner.last_stats.to_dict(),
+                    **run_provenance(runner),
                     "cells": [
                         {
                             "scheme": scheme_label,
@@ -305,6 +338,59 @@ def _run_crashsweep(args) -> int:
     return matrix.silent_corruptions
 
 
+def _run_cache(argv) -> int:
+    """``python -m repro cache stats|verify|gc`` — cache hygiene tooling.
+
+    Handled by its own parser (the main one is shaped around figure
+    grids).  ``verify``'s exit code is the corrupt-entry count so CI can
+    assert a warm cache is clean with a bare command.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro cache",
+        description="Inspect, audit, or garbage-collect .repro-cache/.",
+    )
+    parser.add_argument(
+        "operation",
+        choices=["stats", "verify", "gc"],
+        help="stats: counts/bytes/age; verify: checksum audit, quarantine "
+        "corrupt entries (exit code = corrupt count); gc: remove orphaned "
+        "*.tmp.* files and stale-fingerprint entries",
+    )
+    parser.add_argument(
+        "--cache-dir", type=str, default=None, help="result-cache directory (default: .repro-cache)"
+    )
+    args = parser.parse_args(argv)
+    cache = ResultCache(Path(args.cache_dir) if args.cache_dir else None)
+    if args.operation == "stats":
+        stats = cache.stats()
+        print(f"cache: {stats['directory']}")
+        print(f"  entries:     {stats['entries']} ({stats['bytes']} bytes)")
+        print(f"  tmp files:   {stats['tmp_files']}")
+        print(f"  quarantined: {stats['quarantined']}")
+        if stats["entries"]:
+            print(
+                f"  age span:    {stats['newest_age_seconds']:.0f}s (newest) "
+                f"to {stats['oldest_age_seconds']:.0f}s (oldest)"
+            )
+        return 0
+    if args.operation == "verify":
+        report = cache.verify()
+        print(
+            f"cache verify: {report['checked']} checked, {report['ok']} ok, "
+            f"{report['legacy']} legacy (pre-checksum), {report['corrupt']} corrupt"
+        )
+        for name in report["quarantined"]:
+            print(f"  quarantined: {name}")
+        return report["corrupt"]
+    report = cache.gc(source_fingerprint())
+    print(
+        f"cache gc: {report['tmp_removed']} tmp file(s) and "
+        f"{report['stale_removed']} stale entr(ies) removed "
+        f"({report['bytes_freed']} bytes), {report['entries_kept']} kept"
+    )
+    return 0
+
+
 _COMMANDS = {
     "fig3": _run_fig3,
     "fig8": _run_fig8,
@@ -325,6 +411,9 @@ _COMMANDS = {
 
 
 def main(argv: Optional[list] = None) -> int:
+    arglist = list(sys.argv[1:] if argv is None else argv)
+    if arglist[:1] == ["cache"]:
+        return _run_cache(arglist[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the FsEncr paper's tables and figures.",
@@ -352,6 +441,33 @@ def main(argv: Optional[list] = None) -> int:
     )
     runner.add_argument(
         "--cache-dir", type=str, default=None, help="result-cache directory (default: .repro-cache)"
+    )
+    runner.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-cell wall-clock deadline in seconds; hung workers are killed "
+        "(needs --jobs >= 2; default: none)",
+    )
+    runner.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="re-run a failed or timed-out cell up to N more times (default: 0)",
+    )
+    runner.add_argument(
+        "--backoff",
+        type=float,
+        default=0.0,
+        help="base delay in seconds before a retry, doubling per attempt with "
+        "deterministic seeded jitter (default: 0)",
+    )
+    runner.add_argument(
+        "--failure-policy",
+        choices=["fail_fast", "continue"],
+        default="fail_fast",
+        help="fail_fast: first exhausted cell aborts the grid; continue: "
+        "quarantine it in the grid report and keep going",
     )
     sweep = parser.add_argument_group("crashsweep")
     sweep.add_argument("--workload", type=str, default="DAX-3", help="workload to crash-sweep")
@@ -392,7 +508,7 @@ def main(argv: Optional[list] = None) -> int:
     sweep.add_argument(
         "--counter-flips", type=int, default=None, help="media bit flips in security metadata per crash"
     )
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arglist)
     rc = _COMMANDS[args.command](args)
     return int(rc or 0)
 

@@ -1,0 +1,184 @@
+"""Chaos injection for the supervised runner.
+
+The supervision layer's claims — a hung cell is killed and accounted, a
+dead worker rebuilds the pool, a transient error is retried to a
+bit-identical payload, a corrupt cache write is detected — are only
+worth anything if they are *provoked* and observed.  A
+:class:`ChaosPolicy` is a picklable saboteur the tests hand to
+:class:`~repro.exec.runner.ExperimentRunner`: it matches cells by label
+substring and makes their workers hang, die (``os._exit``), raise a
+transient error N times before succeeding, or garble their cache entry
+on the way to disk.
+
+Sabotage budgets (``times``) are tracked in small counter files under
+``state_dir`` because a retried attempt typically lands in a *fresh*
+worker process — "die once, then succeed" has to survive the death it
+causes.  Nothing here touches the simulation itself: chaos fires in the
+worker wrapper *around* ``execute_cell`` (or in the parent around the
+cache write), so a surviving attempt's payload is exactly the payload a
+clean run produces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "CHAOS_KINDS",
+    "ChaosTransientError",
+    "ChaosAction",
+    "ChaosPolicy",
+    "apply_worker_chaos",
+    "sabotage_cache_write",
+]
+
+CHAOS_KINDS = ("hang", "die", "transient", "corrupt-write")
+
+#: Worker-side kinds need a process of their own to sabotage: a hang can
+#: only be preempted, and a death only survived, across a process
+#: boundary — the serial path refuses them instead of wedging pytest.
+_LETHAL_KINDS = ("hang", "die")
+
+
+class ChaosTransientError(RuntimeError):
+    """The injected 'fails N times, then succeeds' failure."""
+
+
+@dataclass(frozen=True)
+class ChaosAction:
+    """One kind of sabotage, with a budget.
+
+    ``times`` is how many attempts get sabotaged before the action goes
+    quiet (0 = every attempt, forever).  ``seconds`` is the hang length;
+    ``mode`` picks how a cache entry is corrupted: ``truncate`` (cut off
+    mid-JSON, a killed writer) or ``garble`` (valid JSON whose payload no
+    longer matches its checksum, silent media trouble).
+    """
+
+    kind: str
+    times: int = 1
+    seconds: float = 3600.0
+    mode: str = "truncate"
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHAOS_KINDS:
+            raise ValueError(f"unknown chaos kind {self.kind!r} (choose from {CHAOS_KINDS})")
+        if self.mode not in ("truncate", "garble"):
+            raise ValueError(f"unknown corrupt-write mode {self.mode!r}")
+
+
+@dataclass(frozen=True)
+class ChaosPolicy:
+    """Which cells get sabotaged, how, and where the budgets live.
+
+    ``rules`` maps a label substring to an action; the first match wins.
+    The whole object pickles into every worker, so it must stay a value
+    — all shared state goes through files under ``state_dir``.
+    """
+
+    state_dir: str
+    rules: Tuple[Tuple[str, ChaosAction], ...] = ()
+
+    def __post_init__(self) -> None:
+        if isinstance(self.rules, dict):
+            object.__setattr__(self, "rules", tuple(sorted(self.rules.items())))
+        else:
+            object.__setattr__(self, "rules", tuple(self.rules))
+
+    def match(self, spec) -> Optional[Tuple[str, ChaosAction]]:
+        for needle, action in self.rules:
+            if needle in spec.label:
+                return needle, action
+        return None
+
+    def consume(self, needle: str, action: ChaosAction) -> bool:
+        """Spend one sabotage token; True if the action fires this time.
+
+        The counter lives on disk so the budget is shared between the
+        parent, the original worker, and every retry's fresh worker —
+        including across the process death the action itself causes
+        (the file is flushed before ``os._exit`` runs).
+        """
+        if action.times <= 0:
+            return True
+        root = Path(self.state_dir)
+        root.mkdir(parents=True, exist_ok=True)
+        slug = hashlib.sha256(f"{needle}:{action.kind}".encode()).hexdigest()[:16]
+        path = root / f"{slug}.count"
+        try:
+            fired = int(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            fired = 0
+        if fired >= action.times:
+            return False
+        path.write_text(str(fired + 1), encoding="utf-8")
+        return True
+
+
+def apply_worker_chaos(
+    spec, policy: Optional[ChaosPolicy], in_pool_worker: bool = True
+) -> None:
+    """Sabotage this attempt of ``spec`` if the policy says so.
+
+    Called in the worker immediately before ``execute_cell`` (and by the
+    serial path, which rejects the lethal kinds rather than hanging or
+    killing the only process there is).
+    """
+    if policy is None:
+        return
+    hit = policy.match(spec)
+    if hit is None:
+        return
+    needle, action = hit
+    if action.kind == "corrupt-write":
+        return  # parent-side sabotage; see sabotage_cache_write
+    if action.kind in _LETHAL_KINDS and not in_pool_worker:
+        raise RuntimeError(
+            f"chaos {action.kind!r} needs a worker pool (jobs >= 2); the "
+            f"serial path cannot survive it"
+        )
+    if not policy.consume(needle, action):
+        return
+    if action.kind == "transient":
+        raise ChaosTransientError(
+            f"injected transient failure for {spec.label}"
+        )
+    if action.kind == "hang":
+        time.sleep(action.seconds)
+    elif action.kind == "die":
+        os._exit(13)
+
+
+def sabotage_cache_write(cache, key: str, spec, policy: Optional[ChaosPolicy]) -> bool:
+    """Corrupt the just-written cache entry for ``spec``; True if it did.
+
+    Runs in the parent right after ``ResultCache.put``: the in-memory
+    result the caller holds stays correct, but the on-disk entry is now
+    what a killed writer or silent bit rot would leave behind — exactly
+    what ``cache verify`` and the checksum check in ``get`` must catch.
+    """
+    if policy is None:
+        return False
+    hit = policy.match(spec)
+    if hit is None or hit[1].kind != "corrupt-write":
+        return False
+    needle, action = hit
+    if not policy.consume(needle, action):
+        return False
+    path = cache.entry_path(key)
+    if not path.exists():
+        return False
+    if action.mode == "truncate":
+        path.write_text('{"payload": {"trunca', encoding="utf-8")
+    else:
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        entry["payload"] = {"garbled": True, "was": spec.label}
+        # Keep the original checksum: the payload no longer matches it.
+        path.write_text(json.dumps(entry, sort_keys=True), encoding="utf-8")
+    return True

@@ -1,4 +1,4 @@
-"""The parallel, memoised experiment runner.
+"""The parallel, memoised, *supervised* experiment runner.
 
 ``ExperimentRunner.run`` takes a list of :class:`CellSpec` and returns
 their payloads in order, fanning uncached cells out over a
@@ -6,38 +6,66 @@ their payloads in order, fanning uncached cells out over a
 of labour:
 
 * cells are *pure functions* of their spec (``execute_cell``) — so
-  running them in any process, in any order, yields the same bytes;
+  running them in any process, in any order, any number of times,
+  yields the same bytes;
 * the cache key binds spec + source fingerprint — so a hit can be
   served without re-simulating, and any simulator edit misses;
 * ``jobs=1`` executes in-process with no pool at all — the exact serial
   path, used by tests to prove the parallel path changes nothing.
 
+Supervision (:mod:`repro.exec.supervise`) sits on top: per-cell
+wall-clock timeouts, bounded retries with deterministic seeded backoff,
+``BrokenProcessPoolError`` recovery that rebuilds the pool and re-queues
+the in-flight cells, and a ``failure_policy`` of ``fail_fast`` (default:
+the first quarantined cell raises) or ``continue`` (finish the grid,
+quarantine failures into the :class:`GridReport`).  Results are stored
+*as cells complete* — a failure late in a grid never discards finished
+work.
+
 Observability: every ``run`` records per-cell wall-seconds, hit/miss
-counts, and throughput into :class:`RunnerStats` (``runner.last_stats``,
-with a lifetime accumulation in ``runner.lifetime``); consumers persist
-it into their results JSON so a figure's provenance records how it was
-produced.
+counts, recovery activity (retries, timeouts, re-queues, pool rebuilds),
+and throughput into :class:`RunnerStats` (``runner.last_stats``, with a
+lifetime accumulation in ``runner.lifetime``) and the per-cell audit
+into ``runner.last_report``; consumers persist both into their results
+JSON so a figure's provenance records how it was produced.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from .cache import ResultCache
+from .chaos import ChaosPolicy, sabotage_cache_write
 from .fingerprint import source_fingerprint
 from .spec import CellSpec, cell_key, execute_cell
+from .supervise import (
+    OUTCOME_CACHED,
+    OUTCOME_CANCELLED,
+    OUTCOME_FAILED,
+    OUTCOME_SIMULATED,
+    OUTCOME_TIMED_OUT,
+    CellRecord,
+    GridReport,
+    SupervisionPolicy,
+    Supervisor,
+)
 
 __all__ = ["CellExecutionError", "CellResult", "RunnerStats", "ExperimentRunner"]
 
 
 class CellExecutionError(RuntimeError):
-    """A cell failed in a worker.  The grid run raises — it never
-    returns a silent partial grid — and the message names the cell."""
+    """A cell was quarantined under ``fail_fast``.  The grid run raises
+    — it never returns a silent partial grid — and the message names the
+    cell (or, for a pool death, the cells that were in flight).  The
+    full :class:`GridReport` rides along as ``.report``."""
+
+    def __init__(self, message: str, report: Optional[GridReport] = None) -> None:
+        super().__init__(message)
+        self.report = report
 
 
 @dataclass
@@ -61,6 +89,13 @@ class RunnerStats:
     wall_seconds: float = 0.0   # elapsed for the whole run() call
     cell_seconds: float = 0.0   # sum of per-cell simulation time
     jobs: int = 1
+    # Recovery activity (docs/RUNNER.md "Supervised execution"):
+    retries: int = 0            # attempts re-run after an error or timeout
+    timeouts: int = 0           # deadline kills performed by the supervisor
+    requeues: int = 0           # cells resubmitted after a pool death
+    pool_rebuilds: int = 0      # times a broken pool was replaced
+    failed_cells: int = 0       # final outcome failed or timed-out
+    cancelled_cells: int = 0    # never ran: a fail_fast grid aborted first
 
     @property
     def cache_misses(self) -> int:
@@ -70,6 +105,19 @@ class RunnerStats:
     def cells_per_second(self) -> float:
         return self.cells_total / self.wall_seconds if self.wall_seconds > 0 else 0.0
 
+    def stat(self, key: str) -> float:
+        """Strict counter lookup: raises on an unknown key.
+
+        Mirrors :meth:`repro.sim.results.RunResult.stat` — a misspelled
+        counter must fail loudly, never read as a plausible zero.
+        """
+        data = self.to_dict()
+        try:
+            return data[key]
+        except KeyError:
+            known = ", ".join(sorted(data))
+            raise KeyError(f"unknown runner stat {key!r} (known: {known})") from None
+
     def merge(self, other: "RunnerStats") -> None:
         self.cells_total += other.cells_total
         self.cache_hits += other.cache_hits
@@ -77,14 +125,36 @@ class RunnerStats:
         self.wall_seconds += other.wall_seconds
         self.cell_seconds += other.cell_seconds
         self.jobs = max(self.jobs, other.jobs)
+        self.retries += other.retries
+        self.timeouts += other.timeouts
+        self.requeues += other.requeues
+        self.pool_rebuilds += other.pool_rebuilds
+        self.failed_cells += other.failed_cells
+        self.cancelled_cells += other.cancelled_cells
 
     def summary(self) -> str:
-        return (
+        text = (
             f"exec: {self.cells_total} cells "
             f"({self.simulated} simulated, {self.cache_hits} cached) "
             f"in {self.wall_seconds:.2f}s wall / {self.cell_seconds:.2f}s cell time, "
             f"{self.cells_per_second:.2f} cells/s, jobs={self.jobs}"
         )
+        recovery = []
+        if self.retries:
+            recovery.append(f"{self.retries} retries")
+        if self.timeouts:
+            recovery.append(f"{self.timeouts} timeouts")
+        if self.requeues:
+            recovery.append(f"{self.requeues} requeued")
+        if self.pool_rebuilds:
+            recovery.append(f"{self.pool_rebuilds} pool rebuilds")
+        if self.failed_cells:
+            recovery.append(f"{self.failed_cells} quarantined")
+        if self.cancelled_cells:
+            recovery.append(f"{self.cancelled_cells} cancelled")
+        if recovery:
+            text += f" [{', '.join(recovery)}]"
+        return text
 
     def to_dict(self) -> Dict:
         return {
@@ -96,12 +166,17 @@ class RunnerStats:
             "cell_seconds": self.cell_seconds,
             "cells_per_second": self.cells_per_second,
             "jobs": self.jobs,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "requeues": self.requeues,
+            "pool_rebuilds": self.pool_rebuilds,
+            "failed_cells": self.failed_cells,
+            "cancelled_cells": self.cancelled_cells,
         }
 
 
 def _execute_timed(spec: CellSpec):
-    """Worker entry point: run one cell, time it.  Module-level so the
-    process pool can pickle it; wall time is measured *around* the pure
+    """Run one cell, time it.  Wall time is measured *around* the pure
     simulation, never fed into it."""
     start = time.perf_counter()
     payload = execute_cell(spec)
@@ -118,6 +193,10 @@ class ExperimentRunner:
     * ``cache_dir`` — override the cache location.
     * ``fingerprint`` — override the source fingerprint (tests use this
       to prove a "source change" invalidates every key).
+    * ``policy`` — the :class:`SupervisionPolicy`; the default is
+      exactly the unsupervised semantics (no timeout, one attempt,
+      ``fail_fast``).
+    * ``chaos`` — a :class:`ChaosPolicy` saboteur (tests only).
     """
 
     def __init__(
@@ -128,6 +207,8 @@ class ExperimentRunner:
         cache_dir: Optional[Path] = None,
         cache: Optional[ResultCache] = None,
         fingerprint: Optional[str] = None,
+        policy: Optional[SupervisionPolicy] = None,
+        chaos: Optional[ChaosPolicy] = None,
     ) -> None:
         if jobs is not None and jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -135,8 +216,11 @@ class ExperimentRunner:
         self.use_cache = use_cache
         self.cache = cache or ResultCache(cache_dir)
         self._fingerprint = fingerprint
+        self.policy = policy or SupervisionPolicy()
+        self.chaos = chaos
         self.last_stats = RunnerStats(jobs=self.jobs)
         self.lifetime = RunnerStats(jobs=self.jobs)
+        self.last_report: Optional[GridReport] = None
 
     def fingerprint(self) -> str:
         return self._fingerprint or source_fingerprint()
@@ -146,17 +230,27 @@ class ExperimentRunner:
 
     # ------------------------------------------------------------------
 
-    def run(self, specs: Sequence[CellSpec]) -> List[CellResult]:
+    def run(self, specs: Sequence[CellSpec]) -> List[Optional[CellResult]]:
         """Execute a grid; results come back in spec order.
 
-        Raises :class:`CellExecutionError` if any cell fails — cells
-        that already completed are still cached, so a re-run after a fix
-        only pays for the broken cell onward.
+        Under ``fail_fast`` (the default) a quarantined cell raises
+        :class:`CellExecutionError` — never a silent partial grid — and
+        every list entry of a normal return is a :class:`CellResult`.
+        Under ``continue`` the grid finishes around failures: the
+        returned list keeps spec order with ``None`` holes for
+        quarantined cells, and ``runner.last_report`` records every
+        cell's fate.  Either way, cells that completed are already
+        cached, so a re-run after a fix only pays for what never
+        finished.
         """
         start = time.perf_counter()
         fingerprint = self.fingerprint()
         keys = [cell_key(spec, fingerprint) for spec in specs]
         results: List[Optional[CellResult]] = [None] * len(specs)
+        records = [
+            CellRecord(label=spec.label, key=key) for spec, key in zip(specs, keys)
+        ]
+        stats = RunnerStats(cells_total=len(specs), jobs=self.jobs)
 
         pending: List[int] = []
         for index, (spec, key) in enumerate(zip(specs, keys)):
@@ -169,33 +263,78 @@ class ExperimentRunner:
                     wall_seconds=entry.get("wall_seconds", 0.0),
                     from_cache=True,
                 )
+                records[index].outcome = OUTCOME_CACHED
             else:
                 pending.append(index)
 
         if pending:
+            supervisor = Supervisor(
+                specs=specs,
+                keys=keys,
+                records=records,
+                policy=self.policy,
+                chaos=self.chaos,
+                store=lambda index, payload, seconds: results.__setitem__(
+                    index,
+                    self._store(specs[index], keys[index], payload, seconds, fingerprint),
+                ),
+                stats=stats,
+            )
             if self.jobs == 1 or len(pending) == 1:
-                self._run_serial(specs, keys, results, pending, fingerprint)
+                supervisor.run_serial(pending)
             else:
-                self._run_pool(specs, keys, results, pending, fingerprint)
+                supervisor.run_pool(pending, self.jobs)
 
-        stats = RunnerStats(
-            cells_total=len(specs),
-            cache_hits=len(specs) - len(pending),
-            simulated=len(pending),
-            wall_seconds=time.perf_counter() - start,
-            cell_seconds=sum(
-                r.wall_seconds for r in results if r is not None and not r.from_cache
-            ),
-            jobs=self.jobs,
+        report = GridReport(cells=records, failure_policy=self.policy.failure_policy)
+        stats.cache_hits = len(specs) - len(pending)
+        stats.simulated = sum(1 for r in records if r.outcome == OUTCOME_SIMULATED)
+        stats.failed_cells = sum(
+            1 for r in records if r.outcome in (OUTCOME_FAILED, OUTCOME_TIMED_OUT)
+        )
+        stats.cancelled_cells = sum(
+            1 for r in records if r.outcome == OUTCOME_CANCELLED
+        )
+        stats.wall_seconds = time.perf_counter() - start
+        stats.cell_seconds = sum(
+            r.wall_seconds for r in results if r is not None and not r.from_cache
         )
         self.last_stats = stats
         self.lifetime.merge(stats)
-        return [result for result in results if result is not None]
+        self.last_report = report
+
+        if self.policy.failure_policy == "fail_fast":
+            quarantined = report.quarantined
+            if quarantined:
+                raise CellExecutionError(self._blame(quarantined[0]), report)
+        return results
 
     def run_one(self, spec: CellSpec) -> CellResult:
         return self.run([spec])[0]
 
     # ------------------------------------------------------------------
+
+    @staticmethod
+    def _blame(record: CellRecord) -> str:
+        """The fail_fast message: name the true culprit, not a bystander.
+
+        A pool death fails every pending future at once; blaming
+        whichever future iterates first misattributes the crash, so the
+        pool-death attempt's own text (which names the cells that were
+        actually in flight) is surfaced verbatim.
+        """
+        last = record.attempts[-1] if record.attempts else None
+        if last is not None and last.outcome == "pool-death":
+            return last.error
+        if record.outcome == OUTCOME_TIMED_OUT:
+            return (
+                f"cell {record.label} timed out "
+                f"({record.executed_attempts} attempt(s)): {last.error if last else ''}"
+            )
+        detail = last.error if last else "no attempt recorded"
+        return (
+            f"cell {record.label} failed in worker after "
+            f"{record.executed_attempts} attempt(s): {detail}"
+        )
 
     def _store(self, spec: CellSpec, key: str, payload: Dict, seconds: float,
                fingerprint: str) -> CellResult:
@@ -209,47 +348,7 @@ class ExperimentRunner:
                     "wall_seconds": seconds,
                 },
             )
+            sabotage_cache_write(self.cache, key, spec, self.chaos)
         return CellResult(
             spec=spec, key=key, payload=payload, wall_seconds=seconds, from_cache=False
         )
-
-    def _run_serial(self, specs, keys, results, pending, fingerprint) -> None:
-        for index in pending:
-            try:
-                payload, seconds = _execute_timed(specs[index])
-            except Exception as exc:
-                raise CellExecutionError(
-                    f"cell {specs[index].label} failed: {exc}"
-                ) from exc
-            results[index] = self._store(
-                specs[index], keys[index], payload, seconds, fingerprint
-            )
-
-    def _run_pool(self, specs, keys, results, pending, fingerprint) -> None:
-        workers = min(self.jobs, len(pending))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(_execute_timed, specs[index]): index for index in pending
-            }
-            done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
-            failed: Optional[BaseException] = None
-            failed_index = -1
-            for future in done:
-                index = futures[future]
-                exc = future.exception()
-                if exc is not None:
-                    if failed is None:
-                        failed, failed_index = exc, index
-                    continue
-                payload, seconds = future.result()
-                results[index] = self._store(
-                    specs[index], keys[index], payload, seconds, fingerprint
-                )
-            if failed is not None:
-                for future in not_done:
-                    future.cancel()
-                raise CellExecutionError(
-                    f"cell {specs[failed_index].label} failed in worker: {failed}"
-                ) from failed
-            # FIRST_EXCEPTION with no exception means everything is done.
-            assert not not_done

@@ -4,7 +4,7 @@ from .build import MachineBuilder, build_machine
 from .config import MachineConfig, Scheme
 from .histograms import LatencyHistogram
 from .machine import Machine, MappedRegion
-from .results import Comparison, ResultTable, RunResult
+from .results import Comparison, ResultTable, RunResult, run_provenance
 from .schemes import (
     SchemeSpec,
     canonical_scheme_name,
@@ -30,6 +30,7 @@ __all__ = [
     "RunResult",
     "Comparison",
     "ResultTable",
+    "run_provenance",
     "Trace",
     "TraceOp",
     "TraceRecorder",

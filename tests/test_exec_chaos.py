@@ -1,0 +1,420 @@
+"""Chaos-driven proof of the supervision layer's claims.
+
+Every test here provokes a failure mode with an injected
+:class:`ChaosPolicy` and then asserts the two invariants the layer
+exists for:
+
+* **no silent loss** — every submitted cell terminates in exactly one
+  recorded outcome (cached / simulated / failed / timed-out /
+  cancelled), auditable in ``runner.last_report``;
+* **recovery is invisible in the data** — a grid that survived retries,
+  worker deaths, or pool rebuilds produces payloads bit-identical to a
+  clean serial run (the golden-digest test pins this to the repo's
+  frozen digests, not just to a same-process control run).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro.exec import (
+    FINAL_OUTCOMES,
+    CellExecutionError,
+    CellSpec,
+    ChaosAction,
+    ChaosPolicy,
+    ExperimentRunner,
+    SupervisionPolicy,
+    payload_to_runs,
+)
+from repro.sim.config import MachineConfig, Scheme
+from tests.test_hotpath_golden import GOLDEN
+
+
+def spec_for(workload="Fillseq-S", ops=12, **kw):
+    kw.setdefault("schemes", (Scheme.BASELINE_SECURE.value, Scheme.FSENCR.value))
+    return CellSpec(kind="compare", workload=workload, config=MachineConfig(), ops=ops, **kw)
+
+
+def grid_for():
+    return [spec_for(ops=8), spec_for("DAX-1", iterations=30), spec_for(ops=9)]
+
+
+def runner_for(tmp_path, name, jobs=2, policy=None, chaos=None, **kw):
+    kw.setdefault("fingerprint", "chaos-fingerprint")
+    return ExperimentRunner(
+        jobs=jobs, cache_dir=tmp_path / name, policy=policy, chaos=chaos, **kw
+    )
+
+
+def chaos_for(tmp_path, name, needle, **action_kw):
+    return ChaosPolicy(
+        state_dir=str(tmp_path / f"state-{name}"),
+        rules={needle: ChaosAction(**action_kw)},
+    )
+
+
+def serial_payloads(tmp_path, grid):
+    """The ground truth: a clean, unsupervised, serial, uncached run."""
+    results = runner_for(tmp_path, "serial-truth", jobs=1, use_cache=False).run(grid)
+    return [r.payload for r in results]
+
+
+# -- transient failure: retried to a bit-identical payload ---------------
+
+
+def test_transient_failure_retries_to_bit_identical_payload(tmp_path):
+    grid = grid_for()
+    chaos = chaos_for(tmp_path, "transient", "DAX-1", kind="transient", times=2)
+    runner = runner_for(
+        tmp_path, "retry", policy=SupervisionPolicy(max_attempts=3), chaos=chaos
+    )
+    results = runner.run(grid)
+    assert [r.payload for r in results] == serial_payloads(tmp_path, grid)
+    assert runner.last_stats.retries == 2
+    record = runner.last_report.cells[1]
+    assert record.outcome == "simulated"
+    assert [a.outcome for a in record.attempts] == ["error", "error", "ok"]
+    assert "ChaosTransientError" in record.attempts[0].error
+
+
+def test_transient_failure_exhausts_attempts_and_fails(tmp_path):
+    chaos = chaos_for(tmp_path, "exhaust", "DAX-1", kind="transient", times=10)
+    runner = runner_for(
+        tmp_path, "exhaust", policy=SupervisionPolicy(max_attempts=2), chaos=chaos
+    )
+    with pytest.raises(CellExecutionError, match="after 2 attempt"):
+        runner.run(grid_for())
+    report = runner.last_report
+    assert report.complete()
+    assert [r.outcome for r in report.cells if r.label.startswith("DAX-1")] == ["failed"]
+
+
+def test_backoff_is_deterministic_and_recorded(tmp_path):
+    policy = SupervisionPolicy(max_attempts=3, backoff_base=0.01)
+    assert policy.backoff_seconds("k", 1) == policy.backoff_seconds("k", 1)
+    assert policy.backoff_seconds("k", 1) != policy.backoff_seconds("k", 2)
+    chaos = chaos_for(tmp_path, "backoff", "DAX-1", kind="transient", times=1)
+    runner = runner_for(tmp_path, "backoff", policy=policy, chaos=chaos)
+    runner.run(grid_for())
+    record = runner.last_report.cells[1]
+    assert record.attempts[0].backoff_seconds == pytest.approx(
+        policy.backoff_seconds(record.key, 1)
+    )
+
+
+# -- timeouts: hung workers are killed and accounted ---------------------
+
+
+def test_hung_worker_is_killed_and_recorded_as_timed_out(tmp_path):
+    grid = grid_for()
+    chaos = chaos_for(tmp_path, "hang", "DAX-1", kind="hang", times=0, seconds=120.0)
+    runner = runner_for(
+        tmp_path,
+        "hang",
+        policy=SupervisionPolicy(
+            timeout_seconds=0.8, max_attempts=1, failure_policy="continue"
+        ),
+        chaos=chaos,
+    )
+    results = runner.run(grid)
+    truth = serial_payloads(tmp_path, grid)
+    assert results[1] is None  # the hung cell is a quarantined hole...
+    assert [r.payload for i, r in enumerate(results) if i != 1] == [
+        p for i, p in enumerate(truth) if i != 1
+    ]  # ...and its neighbours are untouched
+    assert runner.last_stats.timeouts == 1
+    record = runner.last_report.cells[1]
+    assert record.outcome == "timed-out"
+    assert [a.outcome for a in record.attempts] == ["timeout"]
+
+
+def test_timeout_then_success_retry_is_bit_identical(tmp_path):
+    grid = grid_for()
+    chaos = chaos_for(tmp_path, "hang1", "DAX-1", kind="hang", times=1, seconds=120.0)
+    runner = runner_for(
+        tmp_path,
+        "hang-retry",
+        policy=SupervisionPolicy(timeout_seconds=0.8, max_attempts=2),
+        chaos=chaos,
+    )
+    results = runner.run(grid)
+    assert [r.payload for r in results] == serial_payloads(tmp_path, grid)
+    assert runner.last_stats.timeouts == 1
+    assert runner.last_stats.retries == 1
+    record = runner.last_report.cells[1]
+    assert record.outcome == "simulated"
+    assert [a.outcome for a in record.attempts] == ["timeout", "ok"]
+
+
+def test_fail_fast_timeout_blames_the_hung_cell(tmp_path):
+    chaos = chaos_for(tmp_path, "hangff", "DAX-1", kind="hang", times=0, seconds=120.0)
+    runner = runner_for(
+        tmp_path,
+        "hang-ff",
+        policy=SupervisionPolicy(timeout_seconds=0.8, max_attempts=1),
+        chaos=chaos,
+    )
+    with pytest.raises(CellExecutionError, match=r"DAX-1.*timed out") as err:
+        runner.run(grid_for())
+    assert err.value.report is runner.last_report
+
+
+# -- worker death: pool rebuild, re-queue, correct attribution -----------
+
+
+def test_worker_death_rebuilds_pool_and_stays_bit_identical(tmp_path):
+    grid = grid_for()
+    chaos = chaos_for(tmp_path, "die", "DAX-1", kind="die", times=1)
+    runner = runner_for(tmp_path, "die", chaos=chaos)
+    results = runner.run(grid)
+    assert [r.payload for r in results] == serial_payloads(tmp_path, grid)
+    assert runner.last_stats.pool_rebuilds == 1
+    assert runner.last_stats.requeues >= 1
+    # The victim got a free pool-death attempt, not a consumed retry.
+    record = runner.last_report.cells[1]
+    assert record.outcome == "simulated"
+    assert [a.outcome for a in record.attempts] == ["pool-death", "ok"]
+    assert record.executed_attempts == 1
+
+
+def test_pool_death_is_blamed_on_the_in_flight_cell(tmp_path):
+    """Satellite: a dead pool must name the cells actually in flight —
+    possibly several, since every worker dies with the pool — and never
+    a cell that was still queued, which is what the old
+    FIRST_EXCEPTION wait could blame."""
+    chaos = chaos_for(tmp_path, "die-always", "DAX-1", kind="die", times=0)
+    runner = runner_for(
+        tmp_path,
+        "die-ff",
+        policy=SupervisionPolicy(max_pool_rebuilds=0),
+        chaos=chaos,
+    )
+    # jobs=2 caps in-flight at two cells: the killer and at most one
+    # concurrent bystander; Fillseq-S is still queued when the pool dies.
+    grid = [
+        spec_for("DAX-1", iterations=30),
+        spec_for("Fillrandom-S", ops=800),
+        spec_for("Fillseq-S", ops=8),
+    ]
+    with pytest.raises(CellExecutionError) as err:
+        runner.run(grid)
+    message = str(err.value)
+    assert "worker pool died (BrokenProcessPoolError)" in message
+    assert "in flight" in message
+    assert "DAX-1" in message
+    # The queued cell was never in flight and must not be blamed.
+    assert "Fillseq-S" not in message.split("in flight:")[1]
+
+
+def test_poison_cell_is_bounded_by_the_rebuild_budget(tmp_path):
+    grid = grid_for()
+    chaos = chaos_for(tmp_path, "poison", "DAX-1", kind="die", times=0)
+    runner = runner_for(
+        tmp_path,
+        "poison",
+        policy=SupervisionPolicy(max_pool_rebuilds=2, failure_policy="continue"),
+        chaos=chaos,
+    )
+    results = runner.run(grid)
+    truth = serial_payloads(tmp_path, grid)
+    assert results[1] is None
+    assert [r.payload for i, r in enumerate(results) if i != 1] == [
+        p for i, p in enumerate(truth) if i != 1
+    ]
+    # Two tolerated deaths (re-queued), then the third quarantines the
+    # cell — and still rebuilds, so the surviving cells keep a live pool.
+    assert runner.last_stats.pool_rebuilds == 3
+    record = runner.last_report.cells[1]
+    assert record.outcome == "failed"
+    assert [a.outcome for a in record.attempts] == ["pool-death"] * 3
+
+
+def test_serial_path_refuses_lethal_chaos(tmp_path):
+    chaos = chaos_for(tmp_path, "serial-die", "DAX-1", kind="die", times=1)
+    runner = runner_for(tmp_path, "serial-die", jobs=1, chaos=chaos)
+    with pytest.raises(CellExecutionError, match="needs a worker pool"):
+        runner.run([spec_for("DAX-1", iterations=30)])
+
+
+# -- failure policy: continue vs fail_fast -------------------------------
+
+
+def test_fail_fast_attaches_the_grid_report(tmp_path):
+    runner = runner_for(tmp_path, "ff")
+    grid = [spec_for(ops=8), spec_for("No-Such-Workload")]
+    with pytest.raises(CellExecutionError, match="No-Such-Workload") as err:
+        runner.run(grid)
+    report = err.value.report
+    assert report is not None and report.complete()
+    assert report.counts()["failed"] == 1
+
+
+def test_continue_quarantines_and_returns_holes(tmp_path):
+    runner = runner_for(
+        tmp_path, "cont", policy=SupervisionPolicy(failure_policy="continue")
+    )
+    grid = [spec_for(ops=8), spec_for("No-Such-Workload"), spec_for(ops=9)]
+    results = runner.run(grid)
+    assert results[0] is not None and results[2] is not None
+    assert results[1] is None
+    report = runner.last_report
+    assert report.complete()
+    assert [r.label for r in report.quarantined] == [grid[1].label]
+    assert report.failure_lines() and "No-Such-Workload" in report.failure_lines()[0]
+    assert runner.last_stats.failed_cells == 1
+    # The report round-trips through the results-JSON encoding.
+    from repro.exec import GridReport
+
+    rebuilt = GridReport.from_dict(json.loads(json.dumps(report.to_dict())))
+    assert rebuilt.counts() == report.counts()
+    assert [r.label for r in rebuilt.cells] == [r.label for r in report.cells]
+
+
+# -- corrupt cache writes: detected, quarantined, recomputed -------------
+
+
+@pytest.mark.parametrize("mode", ["truncate", "garble"])
+def test_corrupt_cache_write_is_a_miss_and_verify_quarantines(tmp_path, mode):
+    grid = grid_for()
+    chaos = chaos_for(tmp_path, f"corrupt-{mode}", "DAX-1", kind="corrupt-write", times=1, mode=mode)
+    cold = runner_for(tmp_path, f"corrupt-{mode}", jobs=1, chaos=chaos)
+    cold_results = cold.run(grid)
+
+    # The in-memory results are untouched; only the disk entry is bad.
+    assert [r.payload for r in cold_results] == serial_payloads(tmp_path, grid)
+
+    # verify() finds exactly the sabotaged entry and quarantines it.
+    audit = cold.cache.verify()
+    assert audit["checked"] == 3
+    assert audit["corrupt"] == 1 and audit["ok"] == 2
+    assert len(audit["quarantined"]) == 1
+    quarantine = cold.cache.directory / "quarantine"
+    assert sorted(p.name for p in quarantine.glob("*.json")) == audit["quarantined"]
+
+    # A warm run treats the (now quarantined) entry as a miss and
+    # recomputes it to the same payload; the survivors still hit.
+    warm = runner_for(tmp_path, f"corrupt-{mode}", jobs=1)
+    warm_results = warm.run(grid)
+    assert warm.last_stats.cache_hits == 2
+    assert warm.last_stats.simulated == 1
+    assert [r.payload for r in warm_results] == [r.payload for r in cold_results]
+    assert warm.cache.verify()["corrupt"] == 0
+
+
+def test_garbled_entry_is_a_miss_even_without_verify(tmp_path):
+    """The checksum check in ``get`` itself: a garbled payload with a
+    stale checksum must never be served, even if nobody ran verify."""
+    grid = [spec_for(ops=8), spec_for("DAX-1", iterations=30)]
+    chaos = chaos_for(tmp_path, "garble-get", "DAX-1", kind="corrupt-write", times=1, mode="garble")
+    cold = runner_for(tmp_path, "garble-get", jobs=1, chaos=chaos)
+    truth = [r.payload for r in cold.run(grid)]
+    warm = runner_for(tmp_path, "garble-get", jobs=1)
+    results = warm.run(grid)
+    assert warm.last_stats.simulated == 1  # the garbled cell, recomputed
+    assert [r.payload for r in results] == truth
+    assert "garbled" not in json.dumps(results[1].payload)
+
+
+# -- the acceptance invariant: chaos soup, no cell silently missing ------
+
+
+def test_every_cell_terminates_in_exactly_one_outcome_under_chaos(tmp_path):
+    grid = [
+        spec_for(ops=8),
+        spec_for("DAX-1", iterations=30),   # hangs once, then succeeds
+        spec_for(ops=9),
+        spec_for("DAX-2", iterations=30),   # dies once, then succeeds
+        spec_for("No-Such-Workload"),       # permanently broken
+        spec_for("Fillrandom-S", ops=8),    # transient, retried to success
+    ]
+    chaos = ChaosPolicy(
+        state_dir=str(tmp_path / "state-soup"),
+        rules={
+            "DAX-1": ChaosAction(kind="hang", times=1, seconds=120.0),
+            "DAX-2": ChaosAction(kind="die", times=1),
+            "Fillrandom-S": ChaosAction(kind="transient", times=1),
+        },
+    )
+    runner = runner_for(
+        tmp_path,
+        "soup",
+        policy=SupervisionPolicy(
+            timeout_seconds=1.5, max_attempts=3, failure_policy="continue"
+        ),
+        chaos=chaos,
+    )
+    results = runner.run(grid)
+    report = runner.last_report
+
+    # Exactly one recorded outcome per submitted cell, none missing.
+    assert len(report.cells) == len(grid)
+    assert report.complete()
+    for record in report.cells:
+        assert record.outcome in FINAL_OUTCOMES
+    assert report.counts()["failed"] == 1
+    assert report.counts()["simulated"] == len(grid) - 1
+
+    # Result slots line up with the verdicts: payload iff not quarantined.
+    for record, result in zip(report.cells, results):
+        assert (result is None) == (record.outcome in ("failed", "timed-out"))
+
+    # And every survivor matches the clean serial truth bit-for-bit.
+    healthy = [s for s in grid if s.workload != "No-Such-Workload"]
+    truth = serial_payloads(tmp_path, healthy)
+    survivors = [r.payload for r in results if r is not None]
+    assert survivors == truth
+
+
+# -- golden digests: recovered payloads match the frozen ground truth ----
+
+
+def _golden_digest(run_result):
+    blob = json.dumps(
+        {
+            "workload": run_result.workload,
+            "scheme": run_result.scheme,
+            "elapsed_ns": repr(run_result.elapsed_ns),
+            "nvm_reads": run_result.nvm_reads,
+            "nvm_writes": run_result.nvm_writes,
+            "stats": run_result.stats,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def test_retried_grid_reproduces_the_golden_digests(tmp_path):
+    """The strongest bit-identity claim: a grid that survived injected
+    deaths and transient failures reproduces the repo's frozen hot-path
+    digests — recovery provably never perturbs the simulation."""
+    spec = spec_for(
+        "DAX-1",
+        iterations=400,
+        workload_seed=7,
+        schemes=("baseline_secure", "fsencr"),
+    )
+    chaos = ChaosPolicy(
+        state_dir=str(tmp_path / "state-golden"),
+        rules={"DAX-1": ChaosAction(kind="die", times=1)},
+    )
+    runner = runner_for(
+        tmp_path,
+        "golden",
+        policy=SupervisionPolicy(max_attempts=2),
+        chaos=chaos,
+    )
+    results = runner.run([spec, spec_for(ops=8)])
+    assert runner.last_stats.pool_rebuilds == 1
+    runs = payload_to_runs(results[0].payload)
+    for scheme in ("baseline_secure", "fsencr"):
+        want_digest, want_ns, want_reads, want_writes = GOLDEN[("DAX-1", scheme)]
+        got = runs[scheme]
+        assert got.elapsed_ns == want_ns, f"{scheme}: clock drifted under recovery"
+        assert got.nvm_reads == want_reads
+        assert got.nvm_writes == want_writes
+        assert _golden_digest(got) == want_digest, f"{scheme}: stats drifted under recovery"

@@ -23,6 +23,7 @@ from repro.exec import (
     ResultCache,
     canonical_json,
     cell_key,
+    payload_checksum,
     source_fingerprint,
 )
 from repro.sim.config import MachineConfig, Scheme
@@ -224,3 +225,119 @@ def test_result_cache_roundtrip(tmp_path):
     cache.put("ab" * 32, {"payload": {"x": 1}})
     assert cache.get("ab" * 32)["payload"] == {"x": 1}
     assert len(cache) == 1
+
+
+# -- cache integrity + tooling (python -m repro cache ...) ---------------
+
+
+def test_put_stamps_a_checksum_and_mismatch_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    key = "ab" * 32
+    cache.put(key, {"payload": {"x": 1}})
+    entry = json.loads(cache.entry_path(key).read_text())
+    assert entry["checksum"] == payload_checksum({"x": 1})
+    # Garble the payload but keep the stale checksum: must never be served.
+    entry["payload"] = {"x": 2}
+    cache.entry_path(key).write_text(json.dumps(entry), encoding="utf-8")
+    assert cache.get(key) is None
+    # Entries from before checksums existed stay readable.
+    cache.put("cd" * 32, {"payload": {"y": 1}, "checksum": None})
+    legacy = json.loads(cache.entry_path("cd" * 32).read_text())
+    del legacy["checksum"]
+    cache.entry_path("cd" * 32).write_text(json.dumps(legacy), encoding="utf-8")
+    assert cache.get("cd" * 32)["payload"] == {"y": 1}
+
+
+def test_clear_cache_also_sweeps_orphaned_tmp_files(tmp_path):
+    runner = runner_for(tmp_path)
+    runner.run([spec_for()])
+    orphan = runner.cache.directory / "ab" / "deadbeef.tmp.1234"
+    orphan.parent.mkdir(parents=True, exist_ok=True)
+    orphan.write_text("{ interrupted", encoding="utf-8")
+    assert runner.clear_cache() == 1  # tmp files don't count as entries
+    assert not orphan.exists()
+    assert not list(runner.cache.directory.rglob("*.tmp.*"))
+
+
+def test_cache_stats_counts_entries_tmp_and_quarantine(tmp_path):
+    runner = runner_for(tmp_path)
+    runner.run([spec_for(), spec_for(ops=13)])
+    cache = runner.cache
+    (cache.directory / "zz").mkdir(parents=True, exist_ok=True)
+    (cache.directory / "zz" / "x.tmp.99").write_text("{", encoding="utf-8")
+    stats = cache.stats()
+    assert stats["entries"] == 2
+    assert stats["tmp_files"] == 1
+    assert stats["quarantined"] == 0
+    assert stats["bytes"] > 0
+    assert stats["oldest_age_seconds"] >= stats["newest_age_seconds"] >= 0
+
+
+def test_cache_verify_quarantines_corrupt_entries(tmp_path):
+    runner = runner_for(tmp_path)
+    spec = spec_for()
+    runner.run([spec, spec_for(ops=13)])
+    key = cell_key(spec, "test-fingerprint")
+    runner.cache.entry_path(key).write_text("{ truncated", encoding="utf-8")
+    report = runner.cache.verify()
+    assert report["checked"] == 2
+    assert report["ok"] == 1 and report["corrupt"] == 1
+    assert report["quarantined"] == [f"{key}.json"]
+    assert (runner.cache.directory / "quarantine" / f"{key}.json").exists()
+    # The quarantined entry no longer counts as live; a second verify is clean.
+    assert len(runner.cache) == 1
+    assert runner.cache.verify()["corrupt"] == 0
+
+
+def test_cache_gc_removes_tmp_orphans_and_stale_fingerprints(tmp_path):
+    old = runner_for(tmp_path, fingerprint="old-fp")
+    old.run([spec_for()])
+    new = runner_for(tmp_path, fingerprint="new-fp")
+    new.run([spec_for()])
+    orphan = new.cache.directory / "ab" / "x.tmp.77"
+    orphan.parent.mkdir(parents=True, exist_ok=True)
+    orphan.write_text("{", encoding="utf-8")
+    report = new.cache.gc("new-fp")
+    assert report["tmp_removed"] == 1
+    assert report["stale_removed"] == 1  # the old-fp entry
+    assert report["entries_kept"] == 1
+    assert report["bytes_freed"] > 0
+    assert len(new.cache) == 1
+    # The survivor is the current-fingerprint entry: a warm run hits.
+    new.run([spec_for()])
+    assert new.last_stats.cache_hits == 1
+
+
+def test_cache_cli_stats_verify_gc(tmp_path, capsys):
+    from repro.cli import main
+
+    cache_dir = tmp_path / "cli-cache"
+    runner = ExperimentRunner(jobs=1, cache_dir=cache_dir, fingerprint="cli-fp")
+    spec = spec_for()
+    runner.run([spec, spec_for(ops=13)])
+
+    assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "entries:     2" in out
+
+    # verify's exit code is the corrupt count — 0 on a clean cache.
+    assert main(["cache", "verify", "--cache-dir", str(cache_dir)]) == 0
+    key = cell_key(spec, "cli-fp")
+    (cache_dir / key[:2] / f"{key}.json").write_text("{ bad", encoding="utf-8")
+    assert main(["cache", "verify", "--cache-dir", str(cache_dir)]) == 1
+    out = capsys.readouterr().out
+    assert "1 corrupt" in out and f"{key}.json" in out
+
+    assert main(["cache", "gc", "--cache-dir", str(cache_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "cache gc:" in out
+
+
+def test_runner_stats_strict_lookup(tmp_path):
+    runner = runner_for(tmp_path)
+    runner.run([spec_for()])
+    stats = runner.last_stats
+    assert stats.stat("simulated") == 1
+    assert stats.stat("retries") == 0
+    with pytest.raises(KeyError, match="reties"):
+        stats.stat("reties")  # typos fail loudly, never read as 0
