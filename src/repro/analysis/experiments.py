@@ -72,9 +72,12 @@ def _comparison_cells(
     schemes: Tuple[str, ...],
     ops: int = 0,
     iterations: int = 0,
+    batch: bool = False,
 ) -> List[CellSpec]:
     """One compare cell per benchmark; schemes are registry names
-    (``CellSpec`` canonicalises and validates them)."""
+    (``CellSpec`` canonicalises and validates them).  ``batch=True``
+    marks the cells for compiled-trace execution — same payloads,
+    produced by the array sweep instead of per-access dispatch."""
     base = config or MachineConfig()
     return [
         CellSpec(
@@ -84,6 +87,7 @@ def _comparison_cells(
             ops=ops,
             iterations=iterations,
             schemes=tuple(schemes),
+            batch=batch,
         )
         for name in benchmarks
     ]
@@ -111,6 +115,7 @@ def figure3_software_encryption(
     config: Optional[MachineConfig] = None,
     ops: int = DEFAULT_WHISPER_OPS,
     *,
+    batch: bool = False,
     runner: Optional[ExperimentRunner] = None,
     jobs: Optional[int] = None,
 ) -> ResultTable:
@@ -125,6 +130,7 @@ def figure3_software_encryption(
         config,
         (plain_ref, software_ref),
         ops=ops,
+        batch=batch,
     )
     return _comparison_table(
         "Figure 3: software filesystem encryption overhead",
@@ -139,6 +145,7 @@ def figure8_to_10_pmemkv(
     config: Optional[MachineConfig] = None,
     ops: int = DEFAULT_PMEMKV_OPS,
     *,
+    batch: bool = False,
     runner: Optional[ExperimentRunner] = None,
     jobs: Optional[int] = None,
 ) -> ResultTable:
@@ -154,6 +161,7 @@ def figure8_to_10_pmemkv(
         config,
         (baseline, contribution),
         ops=ops,
+        batch=batch,
     )
     return _comparison_table(
         "Figures 8-10: PMEMKV, FsEncr vs baseline security",
@@ -168,6 +176,7 @@ def figure11_whisper(
     config: Optional[MachineConfig] = None,
     ops: int = DEFAULT_WHISPER_OPS,
     *,
+    batch: bool = False,
     runner: Optional[ExperimentRunner] = None,
     jobs: Optional[int] = None,
 ) -> ResultTable:
@@ -183,6 +192,7 @@ def figure11_whisper(
         config,
         (baseline, contribution),
         ops=ops,
+        batch=batch,
     )
     return _comparison_table(
         "Figure 11: Whisper, FsEncr vs baseline security",
@@ -197,6 +207,7 @@ def figure12_to_14_micro(
     config: Optional[MachineConfig] = None,
     iterations: int = DEFAULT_MICRO_ITERS,
     *,
+    batch: bool = False,
     runner: Optional[ExperimentRunner] = None,
     jobs: Optional[int] = None,
 ) -> ResultTable:
@@ -212,6 +223,7 @@ def figure12_to_14_micro(
         config,
         (baseline, contribution),
         iterations=iterations,
+        batch=batch,
     )
     return _comparison_table(
         "Figures 12-14: DAX micro-benchmarks, FsEncr vs baseline",
@@ -242,6 +254,7 @@ def figure15_cache_sensitivity(
     *,
     scheme: Optional[SchemeRef] = None,
     workloads: Optional[Sequence[str]] = None,
+    batch: bool = False,
     runner: Optional[ExperimentRunner] = None,
     jobs: Optional[int] = None,
 ) -> Dict[str, Dict[int, float]]:
@@ -285,6 +298,7 @@ def figure15_cache_sensitivity(
             ops=ops,
             iterations=iterations,
             schemes=schemes,
+            batch=batch,
         )
 
     grid = [(name, size) for name in names for size in sizes]

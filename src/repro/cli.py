@@ -10,6 +10,7 @@
     python -m repro all             # everything, in paper order
     python -m repro quick           # one fast end-to-end sanity pass
     python -m repro crashsweep      # systematic crash/recovery audit
+    python -m repro batchcheck      # batch-vs-per-access fidelity + speed gate
     python -m repro cache stats     # entry counts / bytes / age
     python -m repro cache verify    # checksum audit (exit = corrupt count)
     python -m repro cache gc        # sweep temp files + stale entries
@@ -109,22 +110,42 @@ def _emit(table, json_path: Optional[str], runner: ExperimentRunner) -> None:
 
 def _run_fig3(args, runner: Optional[ExperimentRunner] = None) -> None:
     runner = runner or _make_runner(args)
-    _emit(figure3_software_encryption(ops=args.ops or 1500, runner=runner), args.json, runner)
+    _emit(
+        figure3_software_encryption(
+            ops=args.ops or 1500, batch=args.batch, runner=runner
+        ),
+        args.json,
+        runner,
+    )
 
 
 def _run_fig8(args, runner: Optional[ExperimentRunner] = None) -> None:
     runner = runner or _make_runner(args)
-    _emit(figure8_to_10_pmemkv(ops=args.ops or 600, runner=runner), args.json, runner)
+    _emit(
+        figure8_to_10_pmemkv(ops=args.ops or 600, batch=args.batch, runner=runner),
+        args.json,
+        runner,
+    )
 
 
 def _run_fig11(args, runner: Optional[ExperimentRunner] = None) -> None:
     runner = runner or _make_runner(args)
-    _emit(figure11_whisper(ops=args.ops or 1500, runner=runner), args.json, runner)
+    _emit(
+        figure11_whisper(ops=args.ops or 1500, batch=args.batch, runner=runner),
+        args.json,
+        runner,
+    )
 
 
 def _run_fig12(args, runner: Optional[ExperimentRunner] = None) -> None:
     runner = runner or _make_runner(args)
-    _emit(figure12_to_14_micro(iterations=args.iters or 8000, runner=runner), args.json, runner)
+    _emit(
+        figure12_to_14_micro(
+            iterations=args.iters or 8000, batch=args.batch, runner=runner
+        ),
+        args.json,
+        runner,
+    )
 
 
 def _run_fig15(args, runner: Optional[ExperimentRunner] = None) -> None:
@@ -137,6 +158,7 @@ def _run_fig15(args, runner: Optional[ExperimentRunner] = None) -> None:
         whisper_ops=(args.ops or 400) * 3,
         micro_iters=args.iters or 6000,
         scheme=scheme,
+        batch=args.batch,
         runner=runner,
     )
     print(render_sensitivity(curves))
@@ -175,8 +197,12 @@ def _run_quick(args) -> None:
     runner = _make_runner(args)
     print(render_table1())
     print()
-    _emit(figure11_whisper(ops=400, runner=runner), None, runner)
-    _emit(figure3_software_encryption(ops=400, runner=runner), None, runner)
+    _emit(figure11_whisper(ops=400, batch=args.batch, runner=runner), None, runner)
+    _emit(
+        figure3_software_encryption(ops=400, batch=args.batch, runner=runner),
+        None,
+        runner,
+    )
 
 
 def _run_bench(args) -> None:
@@ -338,6 +364,130 @@ def _run_crashsweep(args) -> int:
     return matrix.silent_corruptions
 
 
+#: The batchcheck grid is pinned: these exact (workload, scheme) cells,
+#: at these sizes, are what the recorded speedup means.  The cells all
+#: sit inside the interpreter's fast-path envelope (DAX-capable
+#: schemes) because the check exists to gate that interpreter — the
+#: overlay schemes execute through the reference replay by design and
+#: are covered by the equality assertions in the test suite instead.
+BATCHCHECK_CELLS = [
+    ("DAX-1", "ext4dax_plain"),
+    ("DAX-1", "fsencr"),
+    ("Fillseq-S", "baseline_secure"),
+    ("Fillseq-S", "fsencr"),
+    ("Fillseq-S", "fsencr+wpq"),
+    ("Fillseq-S", "fsencr+partitioned"),
+    ("Hashmap", "baseline_secure"),
+    ("Hashmap", "fsencr"),
+    ("Hashmap", "fsencr+wpq"),
+    ("Hashmap", "fsencr+partitioned"),
+]
+
+BATCHCHECK_SIZES = {"DAX-1": 3000, "Fillseq-S": 1200, "Hashmap": 3000}
+
+
+def _batchcheck_factory(workload: str):
+    from .workloads import make_dax_micro, make_pmemkv_workload, make_whisper_workload
+
+    size = BATCHCHECK_SIZES[workload]
+    if workload == "DAX-1":
+        return lambda: make_dax_micro(workload, iterations=size, seed=7)
+    if workload == "Fillseq-S":
+        return lambda: make_pmemkv_workload(workload, ops=size, seed=1234)
+    return lambda: make_whisper_workload(workload, ops=size, seed=99)
+
+
+def _run_batchcheck(args) -> int:
+    """Prove the batch path on the pinned grid: every cell's payload must
+    be bit-identical to per-access execution, and the sweep must beat it
+    on throughput.  Timing is best-of-N per mode so a transient host
+    stall cannot fake a regression (or an improvement); the digests come
+    from the measured runs themselves.  Exit code is the number of
+    divergent cells.
+    """
+    import hashlib
+    import json
+    import time
+
+    from .exec.spec import canonical_json
+    from .sim.batch import BatchRunner
+    from .sim.config import MachineConfig
+    from .sim.schemes import get_scheme
+    from .workloads.base import run_workload
+
+    reps = max(1, args.reps)
+
+    def sweep(use_batch: bool):
+        runner = BatchRunner() if use_batch else None
+        digests = {}
+        start = time.perf_counter()
+        for workload_name, scheme_name in BATCHCHECK_CELLS:
+            workload = _batchcheck_factory(workload_name)()
+            config = get_scheme(scheme_name).configure(MachineConfig())
+            if runner is not None:
+                result = runner.run(config, workload)
+            else:
+                result = run_workload(config, workload)
+            blob = canonical_json(result.to_dict())
+            digests[f"{workload_name}/{scheme_name}"] = hashlib.sha256(
+                blob.encode()
+            ).hexdigest()
+        return time.perf_counter() - start, digests
+
+    direct_time, direct_digests = sweep(False)
+    batch_time, batch_digests = sweep(True)
+    for _ in range(reps - 1):
+        direct_time = min(direct_time, sweep(False)[0])
+        batch_time = min(batch_time, sweep(True)[0])
+
+    mismatches = [
+        cell for cell in direct_digests if direct_digests[cell] != batch_digests[cell]
+    ]
+    cells = len(BATCHCHECK_CELLS)
+    per_access_rate = cells / direct_time
+    batched_rate = cells / batch_time
+    speedup = direct_time / batch_time
+
+    print(f"batchcheck: {cells} pinned cells, best of {reps} run(s) per mode")
+    for cell in sorted(direct_digests):
+        status = "DIVERGED" if cell in mismatches else "ok"
+        print(f"  {status:8s} {cell}  {direct_digests[cell][:16]}")
+    print(f"  per-access: {per_access_rate:8.3f} cells/s")
+    print(f"  batched:    {batched_rate:8.3f} cells/s")
+    print(f"  speedup:    {speedup:8.2f}x")
+    if mismatches:
+        print(f"FAIL: {len(mismatches)} cell(s) diverged from the per-access path")
+    else:
+        print("OK: every batched payload is bit-identical to per-access")
+
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(
+                {
+                    "cells": {
+                        cell: {
+                            "digest": direct_digests[cell],
+                            "match": cell not in mismatches,
+                        }
+                        for cell in sorted(direct_digests)
+                    },
+                    "runner": {
+                        "mode": "batchcheck",
+                        "cells": cells,
+                        "reps": reps,
+                        "per_access_cells_per_s": per_access_rate,
+                        "batched_cells_per_s": batched_rate,
+                        "speedup": speedup,
+                        "digests_match": not mismatches,
+                    },
+                },
+                indent=2,
+            )
+        )
+        print(f"saved: {args.json}")
+    return len(mismatches)
+
+
 def _run_cache(argv) -> int:
     """``python -m repro cache stats|verify|gc`` — cache hygiene tooling.
 
@@ -407,6 +557,7 @@ _COMMANDS = {
     "bench": _run_bench,
     "all": _run_all,
     "crashsweep": _run_crashsweep,
+    "batchcheck": _run_batchcheck,
 }
 
 
@@ -428,6 +579,12 @@ def main(argv: Optional[list] = None) -> int:
         type=int,
         default=None,
         help="worker processes for grid cells (0 = one per CPU; default: serial)",
+    )
+    runner.add_argument(
+        "--batch",
+        action="store_true",
+        help="execute compare cells through the compiled-trace batch "
+        "path (bit-identical payloads, one capture per encryption class)",
     )
     runner.add_argument(
         "--no-cache",
@@ -472,6 +629,12 @@ def main(argv: Optional[list] = None) -> int:
     sweep = parser.add_argument_group("crashsweep")
     sweep.add_argument("--workload", type=str, default="DAX-3", help="workload to crash-sweep")
     sweep.add_argument("--points", type=int, default=8, help="max crash points to sample")
+    sweep.add_argument(
+        "--reps",
+        type=int,
+        default=2,
+        help="batchcheck: timing repetitions per mode (best-of-N; default: 2)",
+    )
     sweep.add_argument("--seed", type=int, default=0xC0FFEE, help="sweep / fault-plan seed")
     from .sim.schemes import crash_matrix_names, scheme_names
 

@@ -48,7 +48,13 @@ __all__ = [
 #: is omitted from the canonical form, so every pre-existing spec keeps
 #: its pre-existing cache key; specs that exercise the new knob get a
 #: (correctly) new key.
-_LATE_DEFAULTS = {"MachineConfig": {"anubis_recovery": False}}
+_LATE_DEFAULTS = {
+    "MachineConfig": {"anubis_recovery": False},
+    # batch changes how a cell executes, never what it produces (the
+    # interpreter is pinned bit-identical), so it stays out of the cell
+    # key at its default exactly like a late-added config flag.
+    "CellSpec": {"batch": False},
+}
 
 
 def _plain(value):
@@ -99,6 +105,10 @@ class CellSpec:
     max_points: int = 8
     sweep_seed: int = 0xC0FFEE
     name: str = ""                  # sweep trace name (part of the payload)
+    # compare cells: execute through the compiled-trace batch path.
+    # Bit-identical payloads by contract, so the default stays out of
+    # the cell key (see _LATE_DEFAULTS).
+    batch: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in ("compare", "sweep"):
@@ -209,6 +219,14 @@ def _execute_compare(spec: CellSpec) -> Dict:
     )
     runs: Dict[str, Dict] = {}
     workload_name = spec.workload
+    # A compare cell is BatchRunner's sweet spot: one captured trace
+    # sweeps every scheme column, so the workload's own Python runs
+    # once per encryption class instead of once per column.
+    batch_runner = None
+    if spec.batch:
+        from ..sim.batch import BatchRunner
+
+        batch_runner = BatchRunner()
     for scheme_name in spec.schemes:
         workload = factory()
         workload_name = workload.name
@@ -216,7 +234,10 @@ def _execute_compare(spec: CellSpec) -> Dict:
         # for the base schemes this is exactly with_scheme(); variant
         # columns ("fsencr+wpq", "fsencr+anubis", ...) add their pins.
         run_config = get_scheme(scheme_name).configure(spec.config)
-        result = run_workload(run_config, workload)
+        if batch_runner is not None:
+            result = batch_runner.run(run_config, workload)
+        else:
+            result = run_workload(run_config, workload)
         runs[scheme_name] = result.to_dict()
     return {"kind": "compare", "workload": workload_name, "runs": runs}
 

@@ -12,7 +12,15 @@ from .schemes import (
     register_scheme,
     scheme_names,
 )
-from .trace import Trace, TraceOp, TraceRecorder, replay
+from .batch import (
+    BatchRunner,
+    CompiledTrace,
+    capture_workload,
+    compile_trace,
+    execute_compiled,
+    run_workload_batch,
+)
+from .trace import Trace, TraceOp, TraceRecorder, replay, resolve_mmap_handle
 
 __all__ = [
     "MachineConfig",
@@ -35,4 +43,11 @@ __all__ = [
     "TraceOp",
     "TraceRecorder",
     "replay",
+    "resolve_mmap_handle",
+    "BatchRunner",
+    "CompiledTrace",
+    "capture_workload",
+    "compile_trace",
+    "execute_compiled",
+    "run_workload_batch",
 ]

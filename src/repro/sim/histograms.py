@@ -41,6 +41,10 @@ class LatencyHistogram:
         self.max_ns = 0.0
 
     def record(self, latency_ns: float) -> None:
+        # `not >= 0` catches NaN too; both used to land silently in the
+        # first bin, masking timing-math bugs upstream.
+        if not latency_ns >= 0.0:
+            raise ValueError(f"latency must be non-negative, got {latency_ns!r}")
         index = bisect_right(self.edges, latency_ns)
         self.counts[index] += 1
         self.total += 1

@@ -550,6 +550,25 @@ class Machine:
         self._mark_reads = self.device.read_count
         self._mark_writes = self.device.write_count
 
+    def execute_trace(self, trace, batch: bool = False) -> None:
+        """Re-execute a recorded trace on this machine.
+
+        ``batch=True`` lowers the trace to flat micro-op arrays and runs
+        the vectorized interpreter (:mod:`repro.sim.batch`); machines
+        outside the interpreter's envelope fall back to the reference
+        replay.  Results are bit-identical either way.
+        """
+        if batch:
+            # Imported lazily: batch imports trace which imports this
+            # module, so a top-level import would be circular.
+            from .batch import compile_trace, execute_compiled
+
+            execute_compiled(compile_trace(trace), self)
+        else:
+            from .trace import replay
+
+            replay(trace, self)
+
     def result(self, workload: str) -> RunResult:
         return RunResult(
             workload=workload,

@@ -14,6 +14,11 @@ classic trace-driven methodology beyond its built-in workloads:
 Replay requires the target machine to have the same virtual layout the
 trace was captured against, so the recorder also logs the file/mmap
 preamble and replays it first.
+
+File format: line one is a header (``{"name": ..., "version": 2}``),
+then one JSON object per op.  Version 1 files (no ``version`` key, no
+``ns``/``uid`` fields) still load; they replay with v1 fidelity —
+compute times truncated to whole ns and mmap bound to the last handle.
 """
 
 from __future__ import annotations
@@ -21,11 +26,15 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from .machine import Machine
 
-__all__ = ["TraceOp", "Trace", "TraceRecorder", "replay"]
+__all__ = ["TraceOp", "Trace", "TraceRecorder", "replay", "resolve_mmap_handle"]
+
+#: Current trace-file format.  v2 added the exact ``ns`` on compute ops
+#: and the originating handle's ``path``/``uid`` on mmap ops.
+TRACE_VERSION = 2
 
 # Operation mnemonics.
 LOAD = "load"
@@ -43,9 +52,9 @@ class TraceOp:
     """One logged event.  Field meaning depends on ``op``:
 
     load/store/persist: (addr=vaddr, size)
-    compute:            (size=ns)
+    compute:            (size=int(ns), ns=exact ns)
     create/open:        (path, addr=uid, size=mode/writable, flag=encrypted)
-    mmap:               (path, size=pages, addr=file_page_start)
+    mmap:               (path, uid, size=pages, addr=file_page_start)
     """
 
     op: str
@@ -53,18 +62,26 @@ class TraceOp:
     size: int = 0
     path: str = ""
     flag: bool = False
+    ns: float = 0.0
+    uid: int = 0
 
     def to_json(self) -> str:
-        return json.dumps(
-            {"op": self.op, "addr": self.addr, "size": self.size,
-             "path": self.path, "flag": self.flag}
-        )
+        payload = {"op": self.op, "addr": self.addr, "size": self.size,
+                   "path": self.path, "flag": self.flag}
+        # v2 fields are emitted only when set, so v1 consumers that
+        # require exactly five keys keep working on unaffected ops.
+        if self.ns:
+            payload["ns"] = self.ns
+        if self.uid:
+            payload["uid"] = self.uid
+        return json.dumps(payload)
 
     @classmethod
     def from_json(cls, line: str) -> "TraceOp":
         raw = json.loads(line)
         return cls(op=raw["op"], addr=raw["addr"], size=raw["size"],
-                   path=raw["path"], flag=raw["flag"])
+                   path=raw["path"], flag=raw["flag"],
+                   ns=float(raw.get("ns", 0.0)), uid=int(raw.get("uid", 0)))
 
 
 @dataclass
@@ -82,7 +99,7 @@ class Trace:
 
     def save(self, path: Path) -> None:
         with open(path, "w") as fh:
-            fh.write(json.dumps({"name": self.name}) + "\n")
+            fh.write(json.dumps({"name": self.name, "version": TRACE_VERSION}) + "\n")
             for op in self.ops:
                 fh.write(op.to_json() + "\n")
 
@@ -101,20 +118,29 @@ class TraceRecorder:
     def __init__(self, machine: Machine, name: str = "trace") -> None:
         self._machine = machine
         self.trace = Trace(name=name)
+        # Which (path, uid) produced each handle the recorder returned,
+        # so mmap ops can name their file instead of relying on
+        # "most recent handle" order.
+        self._handle_ids: Dict[int, tuple] = {}
 
     # -- logged operations ---------------------------------------------------
 
     def create_file(self, path: str, uid: int, mode: int = 0o644, encrypted: bool = False):
         self.trace.append(TraceOp(op=CREATE, path=path, addr=uid, size=mode, flag=encrypted))
-        return self._machine.create_file(path, uid, mode=mode, encrypted=encrypted)
+        handle = self._machine.create_file(path, uid, mode=mode, encrypted=encrypted)
+        self._handle_ids[id(handle)] = (path, uid)
+        return handle
 
     def open_file(self, path: str, uid: int, write: bool = False):
         self.trace.append(TraceOp(op=OPEN, path=path, addr=uid, flag=write))
-        return self._machine.open_file(path, uid, write=write)
+        handle = self._machine.open_file(path, uid, write=write)
+        self._handle_ids[id(handle)] = (path, uid)
+        return handle
 
     def mmap(self, handle, pages: int, file_page_start: int = 0) -> int:
+        path, uid = self._handle_ids.get(id(handle), ("", 0))
         self.trace.append(
-            TraceOp(op=MMAP, path="", size=pages, addr=file_page_start)
+            TraceOp(op=MMAP, path=path, uid=uid, size=pages, addr=file_page_start)
         )
         return self._machine.mmap(handle, pages, file_page_start)
 
@@ -131,7 +157,7 @@ class TraceRecorder:
         self._machine.persist(vaddr, size)
 
     def compute(self, ns: float) -> None:
-        self.trace.append(TraceOp(op=COMPUTE, size=int(ns)))
+        self.trace.append(TraceOp(op=COMPUTE, size=int(ns), ns=float(ns)))
         self._machine.compute(ns)
 
     def mark_measurement_start(self) -> None:
@@ -144,24 +170,58 @@ class TraceRecorder:
         return getattr(self._machine, item)
 
 
+def resolve_mmap_handle(op: TraceOp, handles: Dict[str, object], last_handle):
+    """Bind an ``mmap`` op to the handle it mapped at capture time.
+
+    v2 ops name their file, so they bind to the latest handle for that
+    path.  Legacy v1 ops (no path) bind to the most recently
+    created/opened handle — but only while the trace has touched a
+    single file; with several files in play that guess could silently
+    map the wrong one, so it raises instead.  Shared by :func:`replay`
+    and the batch interpreter so both resolve identically.
+    """
+    if op.path:
+        handle = handles.get(op.path)
+        if handle is None:
+            raise ValueError(
+                f"trace mmap references {op.path!r} with no preceding "
+                "create/open for that path"
+            )
+        return handle
+    if last_handle is None:
+        raise ValueError("trace mmap with no preceding create/open")
+    if len(handles) > 1:
+        raise ValueError(
+            "legacy trace mmap (no path recorded) is ambiguous: "
+            f"{len(handles)} files are open; re-capture the trace "
+            "with a current recorder"
+        )
+    return last_handle
+
+
 def replay(trace: Trace, machine: Machine) -> None:
     """Re-execute a trace on a fresh machine.
 
-    ``mmap`` ops bind to the most recently created/opened handle, which
-    matches how the recorder's single-threaded workloads behave.
+    v2 ``mmap`` ops name the file they mapped, so each binds to the
+    latest handle for that path.  Legacy v1 ops (no path) bind to the
+    most recently created/opened handle — but only while the trace has
+    touched a single file; with several files in play that guess could
+    silently map the wrong one, so it raises instead.
     """
+    handles: Dict[str, object] = {}
     last_handle = None
     for op in trace.ops:
         if op.op == CREATE:
             last_handle = machine.create_file(
                 op.path, uid=op.addr, mode=op.size, encrypted=op.flag
             )
+            handles[op.path] = last_handle
         elif op.op == OPEN:
             last_handle = machine.open_file(op.path, uid=op.addr, write=op.flag)
+            handles[op.path] = last_handle
         elif op.op == MMAP:
-            if last_handle is None:
-                raise ValueError("trace mmap with no preceding create/open")
-            machine.mmap(last_handle, pages=op.size, file_page_start=op.addr)
+            handle = resolve_mmap_handle(op, handles, last_handle)
+            machine.mmap(handle, pages=op.size, file_page_start=op.addr)
         elif op.op == LOAD:
             machine.load(op.addr, op.size)
         elif op.op == STORE:
@@ -169,7 +229,7 @@ def replay(trace: Trace, machine: Machine) -> None:
         elif op.op == PERSIST:
             machine.persist(op.addr, op.size)
         elif op.op == COMPUTE:
-            machine.compute(float(op.size))
+            machine.compute(op.ns if op.ns else float(op.size))
         elif op.op == MARK:
             machine.mark_measurement_start()
         else:

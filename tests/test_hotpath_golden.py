@@ -46,8 +46,10 @@ _FACTORIES = {
 }
 
 
-def _run_digest(workload: str, scheme: Scheme):
-    result = run_workload(MachineConfig(scheme=scheme), _FACTORIES[workload]())
+def _run_digest(workload: str, scheme: Scheme, batch: bool = False):
+    result = run_workload(
+        MachineConfig(scheme=scheme), _FACTORIES[workload](), batch=batch
+    )
     blob = json.dumps(
         {
             "workload": result.workload,
@@ -107,6 +109,20 @@ def test_timing_path_bit_identical(workload, scheme):
     assert result.nvm_reads == want_reads, f"{workload}/{scheme}: NVM reads drifted"
     assert result.nvm_writes == want_writes, f"{workload}/{scheme}: NVM writes drifted"
     assert digest == want_digest, f"{workload}/{scheme}: a stat counter drifted"
+
+
+@pytest.mark.parametrize("workload,scheme", sorted(GOLDEN))
+def test_batched_path_bit_identical(workload, scheme):
+    """The compiled-trace sweep (repro.sim.batch) must reproduce the
+    same frozen digests: batching is an execution strategy, not a model
+    change, and this is the contract that makes ``--batch`` safe to use
+    on any figure grid."""
+    digest, result = _run_digest(workload, Scheme(scheme), batch=True)
+    want_digest, want_ns, want_reads, want_writes = GOLDEN[(workload, scheme)]
+    assert result.elapsed_ns == want_ns, f"{workload}/{scheme}: clock drifted (batch)"
+    assert result.nvm_reads == want_reads, f"{workload}/{scheme}: NVM reads drifted (batch)"
+    assert result.nvm_writes == want_writes, f"{workload}/{scheme}: NVM writes drifted (batch)"
+    assert digest == want_digest, f"{workload}/{scheme}: a stat counter drifted (batch)"
 
 
 def test_functional_sweep_bit_identical():

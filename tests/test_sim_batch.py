@@ -1,0 +1,238 @@
+"""The vectorized batch executor: capture -> compile -> sweep.
+
+The contract under test is absolute: ``repro.sim.batch`` is an
+execution strategy, never a model change.  Every cell it produces —
+fast-path interpreted, replay-fallback, or capture-fallback — must be
+bit-identical to per-access dispatch, across every registered scheme.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.exec.spec import CellSpec, canonical_json, execute_cell
+from repro.sim import (
+    BatchRunner,
+    Machine,
+    Trace,
+    TraceRecorder,
+    compile_trace,
+    execute_compiled,
+    get_scheme,
+    run_workload_batch,
+    scheme_names,
+)
+from repro.sim.batch import _supports_fast_path
+from repro.sim.config import MachineConfig
+from repro.sim.trace import TraceOp
+from repro.workloads import make_dax_micro, make_pmemkv_workload, make_whisper_workload
+from repro.workloads.base import run_workload
+from repro.workloads.transactions import BankWorkload
+
+_FACTORIES = {
+    "DAX-1": lambda: make_dax_micro("DAX-1", iterations=120, seed=7),
+    "Fillseq-S": lambda: make_pmemkv_workload("Fillseq-S", ops=24, seed=1234),
+    "Hashmap": lambda: make_whisper_workload("Hashmap", ops=40, seed=99),
+}
+
+
+@pytest.mark.parametrize("workload_name", sorted(_FACTORIES))
+@pytest.mark.parametrize("scheme_name", scheme_names())
+def test_batched_equals_per_access(workload_name, scheme_name):
+    """Every (workload, scheme) cell: batch == per-access, to the bit.
+
+    This spans the whole execution envelope — DAX schemes run the
+    inline interpreter, overlay schemes (conventional, software
+    encryption) take the replay fallback, and anubis-wired variants are
+    gated out to replay as well; all must agree with direct runs.
+    """
+    factory = _FACTORIES[workload_name]
+    direct = run_workload(get_scheme(scheme_name).configure(MachineConfig()), factory())
+    batched = run_workload_batch(
+        get_scheme(scheme_name).configure(MachineConfig()), factory()
+    )
+    assert batched.to_dict() == direct.to_dict()
+
+
+def test_run_workload_batch_kwarg_routes():
+    config = get_scheme("fsencr").configure(MachineConfig())
+    direct = run_workload(config, _FACTORIES["DAX-1"]())
+    via_kwarg = run_workload(config, _FACTORIES["DAX-1"](), batch=True)
+    assert via_kwarg.to_dict() == direct.to_dict()
+
+
+def test_transactional_workload_batches_bit_identically():
+    """BankWorkload's persist-dense redo-log pattern exercises the
+    flush/fence micro-ops harder than the KV suites."""
+    config = get_scheme("fsencr").configure(MachineConfig())
+    direct = run_workload(config, BankWorkload(accounts=16, transfers=20, seed=3))
+    batched = run_workload_batch(
+        get_scheme("fsencr").configure(MachineConfig()),
+        BankWorkload(accounts=16, transfers=20, seed=3),
+    )
+    assert batched.to_dict() == direct.to_dict()
+
+
+def test_capture_fallback_for_untraceable_workload():
+    """In functional mode BankWorkload drives the byte-level API
+    (store_bytes), which the capture stub deliberately does not model;
+    batch execution must fall back to a plain direct run with
+    identical results."""
+    config = replace(
+        get_scheme("fsencr").configure(MachineConfig()), functional=True
+    )
+    direct = run_workload(config, BankWorkload(accounts=16, transfers=20, seed=3))
+    batched = run_workload_batch(
+        config, BankWorkload(accounts=16, transfers=20, seed=3)
+    )
+    assert batched.to_dict() == direct.to_dict()
+
+
+class TestBatchRunner:
+    def test_trace_shared_across_schemes_in_one_encryption_class(self):
+        runner = BatchRunner()
+        for scheme_name in ("fsencr", "fsencr+wpq", "fsencr+partitioned"):
+            config = get_scheme(scheme_name).configure(MachineConfig())
+            result = runner.run(config, _FACTORIES["Hashmap"]())
+            direct = run_workload(
+                get_scheme(scheme_name).configure(MachineConfig()),
+                _FACTORIES["Hashmap"](),
+            )
+            assert result.to_dict() == direct.to_dict()
+        # One encryption class -> one captured/compiled trace.
+        assert len(runner._compiled) == 1
+
+    def test_encryption_classes_do_not_share_traces(self):
+        """The recorded op stream depends on has_file_encryption (the
+        ``encrypted`` flag on create); classes must compile separately."""
+        runner = BatchRunner()
+        runner.run(get_scheme("ext4dax_plain").configure(MachineConfig()),
+                   _FACTORIES["DAX-1"]())
+        runner.run(get_scheme("fsencr").configure(MachineConfig()),
+                   _FACTORIES["DAX-1"]())
+        assert len(runner._compiled) == 2
+
+    def test_uncapturable_workload_memoised_as_none(self):
+        config = replace(
+            get_scheme("fsencr").configure(MachineConfig()), functional=True
+        )
+        runner = BatchRunner()
+        for _ in range(2):
+            runner.run(config, BankWorkload(accounts=16, transfers=5, seed=3))
+        key = next(iter(runner._compiled))
+        assert runner._compiled[key] is None
+
+
+class TestCompile:
+    @staticmethod
+    def _recorded_trace():
+        machine = Machine(MachineConfig())
+        machine.add_user(uid=1000, gid=100, passphrase="pw")
+        recorder = TraceRecorder(machine, name="t")
+        handle = recorder.create_file("/pmem/f", uid=1000)
+        base = recorder.mmap(handle, pages=1)
+        recorder.mark_measurement_start()
+        recorder.store(base, 128)       # two lines
+        recorder.persist(base, 8)       # write + flush + fence
+        recorder.compute(12.5)
+        return recorder.trace
+
+    def test_micro_op_expansion(self):
+        compiled = compile_trace(self._recorded_trace())
+        # store(128B)=2 writes; persist(8B)=1 write + 1 flush + 1 fence;
+        # compute=1.  Structural ops split chunks, not micro-ops.
+        assert len(compiled) == 6
+        assert len(compiled.rares) == 3  # create, mmap, mark
+        assert compiled.trace.ops[0].op == "create"
+
+    def test_invalid_size_rejected_eagerly(self):
+        trace = Trace(name="bad", ops=[TraceOp(op="load", addr=0, size=0)])
+        with pytest.raises(ValueError, match="size"):
+            compile_trace(trace)
+
+    def test_unknown_op_rejected(self):
+        trace = Trace(name="bad", ops=[TraceOp(op="warp", addr=0, size=8)])
+        with pytest.raises(ValueError, match="warp"):
+            compile_trace(trace)
+
+    def test_execute_compiled_matches_replay(self):
+        trace = self._recorded_trace()
+        compiled = compile_trace(trace)
+
+        fresh = Machine(MachineConfig())
+        fresh.add_user(uid=1000, gid=100, passphrase="pw")
+        execute_compiled(compiled, fresh)
+
+        reference = Machine(MachineConfig())
+        reference.add_user(uid=1000, gid=100, passphrase="pw")
+        reference.execute_trace(trace)  # replay path
+        assert fresh.result("t").to_dict() == reference.result("t").to_dict()
+
+    def test_machine_execute_trace_batch_kwarg(self):
+        trace = self._recorded_trace()
+        a = Machine(MachineConfig())
+        a.add_user(uid=1000, gid=100, passphrase="pw")
+        a.execute_trace(trace, batch=True)
+        b = Machine(MachineConfig())
+        b.add_user(uid=1000, gid=100, passphrase="pw")
+        b.execute_trace(trace, batch=False)
+        assert a.result("t").to_dict() == b.result("t").to_dict()
+
+
+class TestFastPathGate:
+    def test_histogram_forces_fallback(self):
+        machine = Machine(get_scheme("fsencr").configure(MachineConfig()))
+        assert _supports_fast_path(machine)
+        machine.attach_histogram()
+        assert not _supports_fast_path(machine)
+
+    def test_functional_mode_forces_fallback(self):
+        config = replace(
+            get_scheme("fsencr").configure(MachineConfig()), functional=True
+        )
+        assert not _supports_fast_path(Machine(config))
+
+    def test_histogram_cell_still_bit_identical(self):
+        """Fallback cells are not second-class: a histogram-bearing
+        machine batches through replay and must agree with direct."""
+        def drive(machine):
+            handle = machine.create_file("/pmem/f", uid=1000, encrypted=True)
+            base = machine.mmap(handle, pages=2)
+            machine.mark_measurement_start()
+            for i in range(32):
+                machine.store(base + i * 64, 64)
+
+        config = get_scheme("fsencr").configure(MachineConfig())
+        direct = Machine(config)
+        direct.add_user(uid=1000, gid=100, passphrase="pw")
+        direct_hist = direct.attach_histogram()
+        recorder = TraceRecorder(direct, name="t")
+        drive(recorder)
+
+        replayed = Machine(config)
+        replayed.add_user(uid=1000, gid=100, passphrase="pw")
+        replayed_hist = replayed.attach_histogram()
+        replayed.execute_trace(recorder.trace, batch=True)
+        assert replayed.result("t").to_dict() == direct.result("t").to_dict()
+        assert replayed_hist.as_dict() == direct_hist.as_dict()
+
+
+class TestCellSpecBatch:
+    _CELL = dict(
+        kind="compare",
+        workload="Fillseq-S",
+        config=MachineConfig(),
+        ops=24,
+        schemes=("baseline_secure", "fsencr"),
+    )
+
+    def test_batch_cell_payload_identical(self):
+        plain = execute_cell(CellSpec(**self._CELL))
+        batched = execute_cell(CellSpec(batch=True, **self._CELL))
+        assert batched == plain
+
+    def test_default_stays_out_of_cell_key(self):
+        """batch=False must not perturb existing cache keys — a late
+        default, exactly like anubis_recovery on MachineConfig."""
+        assert "batch" not in canonical_json(CellSpec(**self._CELL))
+        assert "batch" in canonical_json(CellSpec(batch=True, **self._CELL))

@@ -36,6 +36,25 @@ class TestHistogram:
     def test_empty_percentile(self):
         assert LatencyHistogram().percentile(99) == 0.0
 
+    def test_negative_latency_rejected(self):
+        # Regression: negative samples used to land silently in the
+        # first bucket, hiding timing-math bugs upstream.
+        hist = LatencyHistogram()
+        with pytest.raises(ValueError):
+            hist.record(-1.0)
+        assert hist.total == 0
+
+    def test_nan_latency_rejected(self):
+        hist = LatencyHistogram()
+        with pytest.raises(ValueError):
+            hist.record(float("nan"))
+        assert hist.total == 0
+
+    def test_zero_latency_still_recorded(self):
+        hist = LatencyHistogram()
+        hist.record(0.0)
+        assert hist.total == 1 and hist.counts[0] == 1
+
     def test_bad_edges_rejected(self):
         with pytest.raises(ValueError):
             LatencyHistogram(edges=[20.0, 10.0])
