@@ -14,7 +14,15 @@ from .experiments import (
     render_sensitivity,
 )
 from .report import aggregate_report, bar_chart
-from .tails import render_tails, tail_latency_comparison
+from .tails import (
+    load_curve,
+    p99_monotone,
+    percentile_summary,
+    render_load_curve,
+    render_tails,
+    strict_percentile,
+    tail_latency_comparison,
+)
 from .security import (
     SCENARIOS,
     Scenario,
@@ -46,4 +54,9 @@ __all__ = [
     "bar_chart",
     "tail_latency_comparison",
     "render_tails",
+    "strict_percentile",
+    "percentile_summary",
+    "load_curve",
+    "p99_monotone",
+    "render_load_curve",
 ]

@@ -11,6 +11,7 @@
     python -m repro quick           # one fast end-to-end sanity pass
     python -m repro crashsweep      # systematic crash/recovery audit
     python -m repro batchcheck      # batch-vs-per-access fidelity + speed gate
+    python -m repro loadcurve       # concurrent-traffic throughput vs p99
     python -m repro cache stats     # entry counts / bytes / age
     python -m repro cache verify    # checksum audit (exit = corrupt count)
     python -m repro cache gc        # sweep temp files + stale entries
@@ -488,6 +489,75 @@ def _run_batchcheck(args) -> int:
     return len(mismatches)
 
 
+def _run_loadcurve(args) -> int:
+    """Throughput-vs-tail curves for a concurrent stream mix.
+
+    One loadcurve cell per scheme (so ``--jobs`` parallelises across
+    schemes and the cache serves unchanged curves); each cell
+    calibrates the mix closed-loop, then sweeps the offered loads
+    open-loop through the shared memory-controller and OTT-port queues.
+    Exit code is the number of schemes whose p99 is *not* monotonically
+    non-decreasing in load — loud, because a non-monotone curve means
+    the sweep is under-sampled for the mix.
+    """
+    import json
+
+    from .analysis.tails import p99_monotone, render_load_curve
+    from .exec.spec import CellSpec, payload_to_curves
+    from .sim.config import MachineConfig
+    from .workloads.base import parse_stream_mix
+
+    loads = tuple(float(part) for part in args.loads.split(","))
+    schemes = [part.strip() for part in args.schemes.split(",") if part.strip()]
+    parse_stream_mix(args.streams)  # fail on a malformed mix before running
+    runner = _make_runner(args)
+    specs = [
+        CellSpec(
+            kind="loadcurve",
+            workload=args.streams,
+            config=MachineConfig(),
+            ops=args.ops or 0,
+            schemes=(scheme,),
+            loads=loads,
+            mlp_window=args.window,
+        )
+        for scheme in schemes
+    ]
+    curves = {}
+    for result in runner.run(specs):
+        curves.update(payload_to_curves(result.payload))
+
+    print(render_load_curve(curves))
+    print(runner.last_stats.summary())
+    _report_failures(runner)
+    non_monotone = 0
+    for scheme, curve in curves.items():
+        if p99_monotone(curve["points"]):
+            print(f"  p99 monotone in load: {scheme} ok")
+        else:
+            non_monotone += 1
+            print(f"  p99 NOT monotone in load: {scheme}")
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(
+                {
+                    "mix": args.streams,
+                    "loads": list(loads),
+                    "window": args.window,
+                    "curves": curves,
+                    "p99_monotone": {
+                        scheme: p99_monotone(curve["points"])
+                        for scheme, curve in curves.items()
+                    },
+                    **run_provenance(runner),
+                },
+                indent=2,
+            )
+        )
+        print(f"saved: {args.json}")
+    return non_monotone
+
+
 def _run_cache(argv) -> int:
     """``python -m repro cache stats|verify|gc`` — cache hygiene tooling.
 
@@ -558,6 +628,7 @@ _COMMANDS = {
     "all": _run_all,
     "crashsweep": _run_crashsweep,
     "batchcheck": _run_batchcheck,
+    "loadcurve": _run_loadcurve,
 }
 
 
@@ -625,6 +696,34 @@ def main(argv: Optional[list] = None) -> int:
         default="fail_fast",
         help="fail_fast: first exhausted cell aborts the grid; continue: "
         "quarantine it in the grid report and keep going",
+    )
+    curve = parser.add_argument_group("loadcurve")
+    curve.add_argument(
+        "--streams",
+        type=str,
+        default="3xFillseq-S",
+        help="loadcurve stream mix, e.g. 3xFillseq-S+2xHashmap "
+        "(default: 3xFillseq-S)",
+    )
+    curve.add_argument(
+        "--schemes",
+        type=str,
+        default="baseline_secure,fsencr",
+        help="loadcurve: comma-separated scheme columns "
+        "(default: baseline_secure,fsencr)",
+    )
+    curve.add_argument(
+        "--loads",
+        type=str,
+        default="0.25,0.5,1.0",
+        help="loadcurve: offered-load fractions of the mix's calibrated "
+        "throughput (default: 0.25,0.5,1.0)",
+    )
+    curve.add_argument(
+        "--window",
+        type=int,
+        default=1,
+        help="loadcurve: closed-loop calibration MLP window (default: 1)",
     )
     sweep = parser.add_argument_group("crashsweep")
     sweep.add_argument("--workload", type=str, default="DAX-3", help="workload to crash-sweep")

@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..crypto.aes import AES128
 from ..crypto.otp import xor_bytes
 from ..mem.address import LINE_SIZE
+from ..mem.controller import ServiceQueue
 from ..mem.stats import StatCounters
 
 __all__ = [
@@ -31,6 +32,7 @@ __all__ = [
     "FILE_ID_BITS",
     "OTTEntry",
     "OpenTunnelTable",
+    "OTTPortQueue",
     "EncryptedOTTRegion",
     "KeyUnavailableError",
 ]
@@ -134,6 +136,21 @@ class OpenTunnelTable:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+
+class OTTPortQueue(ServiceQueue):
+    """The OTT's single lookup port as a shared contention point.
+
+    §III-E sizes the table for capacity, not bandwidth: all eight banks
+    are searched in parallel but there is *one* 20-cycle lookup port in
+    front of them.  One stream never notices; N streams resolving file
+    keys concurrently serialise here.  The service model counts the OTT
+    lookups each controller access performs and holds this queue for
+    their port time (capped at the access's own charged latency, so the
+    port is never modelled busier than the access that used it)."""
+
+    def __init__(self, stats: Optional[StatCounters] = None) -> None:
+        super().__init__(name="ott_queue", stats=stats)
 
 
 class EncryptedOTTRegion:

@@ -18,6 +18,12 @@ Two cell kinds cover every consumer:
 * ``sweep``   — one crash-sweep cell (``sweep_workload``): crash at
   sampled persist boundaries under a :class:`FaultPlan`, audit every
   line; payload carries the :class:`~repro.faults.sweep.SweepResult`.
+* ``loadcurve`` — one concurrent-traffic load sweep
+  (:func:`~repro.analysis.tails.load_curve`): ``workload`` holds a
+  stream *mix* ("3xFillseq-S+2xHashmap"), swept open-loop at the
+  ``loads`` fractions of the mix's calibrated throughput per scheme;
+  payload carries throughput and strict p50/p99/p99.9 per load point
+  with the shared queues' delay stats.
 """
 
 from __future__ import annotations
@@ -39,6 +45,7 @@ __all__ = [
     "execute_cell",
     "resolve_workload",
     "payload_to_runs",
+    "payload_to_curves",
     "payload_to_sweep",
 ]
 
@@ -53,7 +60,14 @@ _LATE_DEFAULTS = {
     # batch changes how a cell executes, never what it produces (the
     # interpreter is pinned bit-identical), so it stays out of the cell
     # key at its default exactly like a late-added config flag.
-    "CellSpec": {"batch": False},
+    # loads/mlp_window/arrival_seed exist only for loadcurve cells,
+    # which post-date every cached key.
+    "CellSpec": {
+        "batch": False,
+        "loads": (),
+        "mlp_window": 1,
+        "arrival_seed": 0xA221,
+    },
 }
 
 
@@ -92,8 +106,10 @@ class CellSpec:
     and the ``--jobs N`` == ``--jobs 1`` equivalence both rest on.
     """
 
-    kind: str                       # "compare" | "sweep"
-    workload: str                   # factory name: "Fillseq-S", "Hashmap", "DAX-2", ...
+    kind: str                       # "compare" | "sweep" | "loadcurve"
+    workload: str                   # factory name ("Fillseq-S", "Hashmap", "DAX-2",
+                                    # ...) or, for loadcurve cells, a stream mix
+                                    # ("3xFillseq-S+2xHashmap")
     config: MachineConfig
     ops: int = 0                    # PMEMKV / Whisper op count (0 = factory default)
     iterations: int = 0             # DAX micro iterations (0 = factory default)
@@ -109,14 +125,33 @@ class CellSpec:
     # Bit-identical payloads by contract, so the default stays out of
     # the cell key (see _LATE_DEFAULTS).
     batch: bool = False
+    # loadcurve cells: offered-load fractions of the mix's calibrated
+    # throughput, the closed-loop calibration's MLP window, and the
+    # open-loop arrival-process seed.
+    loads: Tuple[float, ...] = ()
+    mlp_window: int = 1
+    arrival_seed: int = 0xA221
 
     def __post_init__(self) -> None:
-        if self.kind not in ("compare", "sweep"):
+        if self.kind not in ("compare", "sweep", "loadcurve"):
             raise ValueError(f"unknown cell kind {self.kind!r}")
         if self.kind == "compare" and not self.schemes:
             raise ValueError("compare cell needs at least one scheme")
         if self.kind == "sweep" and self.plan is None:
             raise ValueError("sweep cell needs a FaultPlan")
+        if self.kind == "loadcurve":
+            if not self.schemes:
+                raise ValueError("loadcurve cell needs at least one scheme")
+            if not self.loads:
+                raise ValueError("loadcurve cell needs at least one load point")
+        if self.loads:
+            if any(not load > 0.0 for load in self.loads):
+                raise ValueError(f"loads must be positive, got {self.loads!r}")
+            object.__setattr__(
+                self, "loads", tuple(float(load) for load in self.loads)
+            )
+        if self.mlp_window < 1:
+            raise ValueError(f"mlp_window must be >= 1, got {self.mlp_window}")
         if self.schemes:
             # Scheme names are registry currency: canonicalise (and
             # validate) them here so equal cells always hash equally,
@@ -134,6 +169,8 @@ class CellSpec:
         """Human-readable cell identity for logs and error messages."""
         if self.kind == "compare":
             return f"{self.workload}({'/'.join(self.schemes)})"
+        if self.kind == "loadcurve":
+            return f"{self.workload}[loadcurve {'/'.join(self.schemes)}]"
         return f"{self.workload}[sweep {self.config.scheme.value}]"
 
     def canonical(self) -> Dict:
@@ -166,11 +203,24 @@ def resolve_workload(
     """
     from ..workloads import (
         WHISPER_BENCHMARKS,
+        ManyFilesWorkload,
         make_dax_micro,
         make_pmemkv_workload,
         make_whisper_workload,
     )
 
+    if name.split("@", 1)[0] == "ManyFiles":
+        # "ManyFiles@10" = 10% of files re-opened per round (the
+        # multi-tenant churn knob); ops maps onto the file count.
+        churn_part = name.partition("@")[2]
+        kwargs = {}
+        if churn_part:
+            kwargs["churn"] = int(churn_part) / 100.0
+        if ops:
+            kwargs["num_files"] = ops
+        if seed is not None:
+            kwargs["seed"] = seed
+        return lambda: ManyFilesWorkload(**kwargs)
     if name.upper().startswith("DAX"):
         kwargs = {}
         if iterations:
@@ -207,6 +257,8 @@ def execute_cell(spec: CellSpec) -> Dict:
     """
     if spec.kind == "compare":
         return _execute_compare(spec)
+    if spec.kind == "loadcurve":
+        return _execute_loadcurve(spec)
     return _execute_sweep(spec)
 
 
@@ -242,6 +294,24 @@ def _execute_compare(spec: CellSpec) -> Dict:
     return {"kind": "compare", "workload": workload_name, "runs": runs}
 
 
+def _execute_loadcurve(spec: CellSpec) -> Dict:
+    from ..analysis.tails import load_curve
+    from ..sim.schemes import get_scheme
+
+    curves: Dict[str, Dict] = {}
+    for scheme_name in spec.schemes:
+        run_config = get_scheme(scheme_name).configure(spec.config)
+        curves[scheme_name] = load_curve(
+            run_config,
+            spec.workload,
+            spec.loads,
+            window=spec.mlp_window,
+            arrival_seed=spec.arrival_seed,
+            ops=spec.ops,
+        )
+    return {"kind": "loadcurve", "mix": spec.workload, "curves": curves}
+
+
 def _execute_sweep(spec: CellSpec) -> Dict:
     from ..faults.sweep import sweep_workload
 
@@ -271,6 +341,13 @@ def payload_to_runs(payload: Dict) -> Dict[str, RunResult]:
     return {
         scheme: RunResult.from_dict(raw) for scheme, raw in payload["runs"].items()
     }
+
+
+def payload_to_curves(payload: Dict) -> Dict[str, Dict]:
+    """Decode a loadcurve payload into ``{scheme: curve dict}``."""
+    if payload.get("kind") != "loadcurve":
+        raise ValueError(f"not a loadcurve payload: kind={payload.get('kind')!r}")
+    return payload["curves"]
 
 
 def payload_to_sweep(payload: Dict):

@@ -373,6 +373,11 @@ def _supports_fast_path(machine: Machine) -> bool:
         return False
     if machine.latency_histogram is not None:
         return False
+    if machine.service_queues is not None:
+        # Service-model streams charge queueing delay per controller
+        # access; the inline interpreter knows nothing about it, so a
+        # stream machine always takes the reference path.
+        return False
     if len(machine._processes) != 1 or machine._current_pid != 0:
         return False
     controller = machine.controller

@@ -128,6 +128,13 @@ class Machine:
         # Optional per-access latency histogram (attach_histogram()).
         self.latency_histogram: Optional[LatencyHistogram] = None
 
+        # Concurrent-traffic service model (repro.sim.service): when a
+        # scheduler attaches shared contention queues, every controller-
+        # side access charges queueing delay through them.  None (the
+        # default) is the exact seed single-stream path.
+        self.service_queues = None
+        self.stream_id = 0
+
         # Persist-path model: fixed ADR constant or an explicit WPQ.
         self.wpq = builder.build_wpq(self)
 
@@ -378,6 +385,61 @@ class Machine:
         self.latency_histogram = LatencyHistogram(name=name)
         return self.latency_histogram
 
+    def attach_service_queues(self, queues, stream_id: int = 0) -> None:
+        """Join this machine to a shared-contention service model.
+
+        ``queues`` carries the memory-controller queue and the OTT-port
+        queue every stream of one service run shares
+        (:class:`repro.sim.service.ServiceQueues`).  Once attached, the
+        machine charges queueing delay for controller-side accesses; a
+        lone attached stream charges exactly zero extra (see
+        :class:`~repro.mem.controller.ServiceQueue`), so single-stream
+        service runs remain bit-identical to the seed path.
+        """
+        self.service_queues = queues
+        self.stream_id = stream_id
+
+    def _ott_lookup_count(self) -> int:
+        """Cumulative OTT lookups (hits + misses) the controller made."""
+        ott = getattr(self.controller, "ott", None)
+        if ott is None:
+            return 0
+        return ott.stats.get("hits") + ott.stats.get("misses")
+
+    def _controller_access(self, request: MemoryRequest, factor: float = 1.0) -> None:
+        """One controller-side access, charged to the clock.
+
+        Without service queues this is exactly ``clock += access() *
+        factor`` — the seed path.  With queues attached, the access
+        additionally waits for the shared memory-controller queue (held
+        for precisely the latency charged here) and for the OTT port
+        (held for the lookup time of each OTT probe the access made,
+        capped at the access's own charge so the port is never busier
+        than the access).  Waits accumulate onto the clock; the busy
+        windows end at or before the stream's post-access clock, so a
+        stream never queues behind itself.
+        """
+        queues = self.service_queues
+        if queues is None:
+            self.clock_ns += self.controller.access(request) * factor
+            return
+        arrival = self.clock_ns
+        lookups_before = self._ott_lookup_count()
+        charged = self.controller.access(request) * factor
+        wait = queues.mc.serve(arrival, charged)
+        lookups = self._ott_lookup_count() - lookups_before
+        if lookups:
+            lookup_ns = self.controller.ott.lookup_latency_ns * factor
+            port_budget = charged
+            port_arrival = arrival + wait
+            for _ in range(lookups):
+                service = lookup_ns if lookup_ns <= port_budget else port_budget
+                port_wait = queues.ott.serve(port_arrival, service)
+                wait += port_wait
+                port_arrival += port_wait + service
+                port_budget -= service
+        self.clock_ns += wait + charged
+
     def _access_line(self, line_vaddr: int, is_write: bool) -> None:
         access_start_ns = self.clock_ns
         translation = self.mmu.translate(line_vaddr, is_write)
@@ -398,15 +460,14 @@ class Machine:
         self.clock_ns += outcome.latency_ns
         if outcome.miss_addr is not None:
             # Fill (read or read-for-ownership) from memory.
-            miss_latency = self.controller.access(
+            self._controller_access(
                 MemoryRequest(addr=outcome.miss_addr, is_write=False)
             )
-            self.clock_ns += miss_latency
         for wb_addr in outcome.writeback_addrs:
-            wb_latency = self.controller.access(
-                MemoryRequest(addr=wb_addr, is_write=True)
+            self._controller_access(
+                MemoryRequest(addr=wb_addr, is_write=True),
+                factor=self.config.write_contention_factor,
             )
-            self.clock_ns += wb_latency * self.config.write_contention_factor
         if self.latency_histogram is not None:
             self.latency_histogram.record(self.clock_ns - access_start_ns)
 
@@ -426,10 +487,10 @@ class Machine:
                 self.clock_ns += self.wpq.accept(self.clock_ns)
             else:
                 self.clock_ns += _ADR_DRAIN_NS
-            latency = self.controller.access(
-                MemoryRequest(addr=translation.paddr, is_write=True, persist=True)
+            self._controller_access(
+                MemoryRequest(addr=translation.paddr, is_write=True, persist=True),
+                factor=self.config.write_contention_factor,
             )
-            self.clock_ns += latency * self.config.write_contention_factor
 
     # ------------------------------------------------------------------
     # Functional access path (write-through; requires functional=True)

@@ -1,0 +1,424 @@
+"""Concurrent-traffic service model: N streams through shared queues.
+
+The paper evaluates every scheme under one closed-loop access stream;
+this module is the production-shaped counterpart.  A *service run*
+takes N per-stream workloads, captures each into a trace, gives each
+stream its own :class:`~repro.sim.machine.Machine` (own MMU, caches,
+filesystem — like processes on separate sockets sharing one DIMM), and
+interleaves the streams in virtual time through two shared contention
+points:
+
+* the **memory-controller queue** (:class:`MemoryControllerQueue`) —
+  every miss fill, write-back, and persist-path write holds it for
+  exactly the latency the machine charges for that access;
+* the **OTT port queue** (:class:`OTTPortQueue`) — each file-key
+  lookup a controller access performs holds the single 20-cycle
+  lookup port (capped at the access's own charged latency).
+
+The scheduler is event-driven over virtual time: at each step the
+stream with the earliest ready time runs its next trace op to
+completion (ties broken by stream id, so interleavings are total-order
+deterministic).  Two arrival policies gate *when* a measured op is
+ready:
+
+* :class:`ClosedLoop` — a per-stream MLP window of ``window``
+  outstanding requests: op ``i`` issues when op ``i - window``
+  completes.  ``window=1`` is the classic think-time-free closed loop
+  the paper's single-stream runs correspond to.
+* :class:`OpenLoop` — a deterministic seeded inter-arrival process
+  (exponential or fixed gaps).  Arrivals do not wait for completions,
+  so offered load is an input and queueing delay shows up in the
+  response times — this is what load-vs-percentile curves sweep.
+
+Bit-identity contract: a 1-stream service run executes the exact seed
+per-access semantics.  The shared queues charge zero wait to a lone
+stream (each access's busy window ends at or before the clock the
+stream leaves the access with), and ``0.0 + x == x`` exactly, so all
+golden digests reproduce bit-for-bit.  See ``docs/SERVICE.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..core.ott import OTTPortQueue
+from ..mem.controller import MemoryControllerQueue
+from ..mem.stats import StatsRegistry
+from .config import MachineConfig
+from .histograms import LatencyHistogram
+from .machine import Machine
+from .results import RunResult
+from .trace import LOAD, MARK, PERSIST, STORE, MultiStreamTrace, Trace, TraceCursor
+
+__all__ = [
+    "ClosedLoop",
+    "OpenLoop",
+    "ServiceQueues",
+    "StreamServiceResult",
+    "ServiceResult",
+    "capture_streams",
+    "run_service",
+]
+
+#: Ops whose response times are sampled (once measurement has started).
+_MEASURED_OPS = frozenset((LOAD, STORE, PERSIST))
+
+
+@dataclass(frozen=True)
+class ClosedLoop:
+    """Per-stream MLP window: at most ``window`` measured ops in flight.
+
+    Op ``i`` issues when op ``i - window`` completes, so each sample is
+    the stream's cycle time at that window depth.  ``window=1`` makes a
+    1-stream run identical to the classic sequential replay.
+    """
+
+    window: int = 1
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+
+    def describe(self) -> str:
+        return f"closed(window={self.window})"
+
+
+@dataclass(frozen=True)
+class OpenLoop:
+    """Seeded deterministic inter-arrival process (offered-load input).
+
+    Each stream draws its own gap sequence from
+    ``random.Random(seed * 1000003 + sid)``, so the arrival process is
+    reproducible per (seed, stream) and independent of the other
+    streams.  ``exponential`` draws scale linearly with
+    ``interarrival_ns`` for a fixed seed — sweeping load re-uses the
+    same underlying uniform sequence, which keeps load curves smooth.
+    """
+
+    interarrival_ns: float
+    seed: int = 0xA221
+    distribution: str = "exponential"
+
+    def __post_init__(self) -> None:
+        if not self.interarrival_ns > 0.0:
+            raise ValueError(
+                f"interarrival_ns must be positive, got {self.interarrival_ns!r}"
+            )
+        if self.distribution not in ("exponential", "fixed"):
+            raise ValueError(
+                f"distribution must be 'exponential' or 'fixed', "
+                f"got {self.distribution!r}"
+            )
+
+    def describe(self) -> str:
+        return (
+            f"open(interarrival={self.interarrival_ns:g}ns, "
+            f"{self.distribution}, seed={self.seed:#x})"
+        )
+
+
+ArrivalPolicy = Union[ClosedLoop, OpenLoop]
+
+
+class ServiceQueues:
+    """The shared contention points of one service run.
+
+    One instance is attached to every stream's machine
+    (:meth:`Machine.attach_service_queues`); the queue stat bundles
+    register in the run's service-level registry so the
+    ``stats-registered`` lint rule covers them like any machine
+    component.
+    """
+
+    def __init__(self, registry: Optional[StatsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else StatsRegistry()
+        self.mc = MemoryControllerQueue(stats=self.registry.create("mc_queue"))
+        self.ott = OTTPortQueue(stats=self.registry.create("ott_queue"))
+
+
+class _Stream:
+    """One stream's scheduling state."""
+
+    __slots__ = (
+        "sid", "workload_name", "ops", "index", "machine", "cursor",
+        "measuring", "samples", "histogram", "stats", "completions",
+        "rng", "next_arrival_ns", "mark_ns", "end_ns",
+    )
+
+    def __init__(
+        self,
+        sid: int,
+        trace: Trace,
+        machine: Machine,
+        policy: ArrivalPolicy,
+        registry: StatsRegistry,
+    ) -> None:
+        self.sid = sid
+        self.workload_name = trace.name
+        self.ops = trace.ops
+        self.index = 0
+        self.machine = machine
+        self.cursor = TraceCursor(machine)
+        self.measuring = False
+        self.samples: List[float] = []
+        self.histogram = LatencyHistogram(name=f"stream{sid}")
+        self.stats = registry.create(f"stream{sid}")
+        if isinstance(policy, ClosedLoop):
+            self.completions: Optional[deque] = deque(maxlen=policy.window)
+            self.rng: Optional[random.Random] = None
+        else:
+            self.completions = None
+            self.rng = random.Random(policy.seed * 1000003 + sid)
+        self.next_arrival_ns = 0.0
+        self.mark_ns = 0.0
+        self.end_ns = 0.0
+
+    def done(self) -> bool:
+        return self.index >= len(self.ops)
+
+    def _gap_ns(self, policy: OpenLoop) -> float:
+        if policy.distribution == "fixed":
+            return policy.interarrival_ns
+        assert self.rng is not None
+        return self.rng.expovariate(1.0 / policy.interarrival_ns)
+
+    def issue_ns(self) -> float:
+        """When the next op may issue (its arrival, for measured ops).
+
+        Unmeasured ops (setup preamble, compute think time, file
+        management) issue as soon as the stream's clock reaches them.
+        """
+        clock = self.machine.clock_ns
+        op = self.ops[self.index]
+        if not self.measuring or op.op not in _MEASURED_OPS:
+            return clock
+        if self.completions is not None:  # closed loop
+            if len(self.completions) == self.completions.maxlen:
+                # The window slot opened when op (i - window) completed;
+                # that completion is the op's logical arrival time.
+                return self.completions[0]
+            return clock
+        return self.next_arrival_ns  # open loop: may trail the clock
+
+    def ready_ns(self) -> float:
+        issue = self.issue_ns()
+        clock = self.machine.clock_ns
+        return issue if issue > clock else clock
+
+
+@dataclass
+class StreamServiceResult:
+    """One stream's view of a service run."""
+
+    sid: int
+    workload: str
+    run: RunResult
+    samples: List[float] = field(repr=False)
+    histogram: LatencyHistogram = field(repr=False)
+    measured_ops: int = 0
+    mark_ns: float = 0.0
+    end_ns: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "sid": self.sid,
+            "workload": self.workload,
+            "run": self.run.to_dict(),
+            "measured_ops": self.measured_ops,
+            "mark_ns": self.mark_ns,
+            "end_ns": self.end_ns,
+            "histogram": self.histogram.as_dict(),
+        }
+
+
+@dataclass
+class ServiceResult:
+    """Everything one concurrent service run produced."""
+
+    name: str
+    scheme: str
+    policy: str
+    streams: List[StreamServiceResult]
+    mc_queue: dict
+    ott_queue: dict
+    interleave_digest: str
+    service_stats: Dict[str, int]
+
+    @property
+    def samples(self) -> List[float]:
+        """All streams' response-time samples, stream-major order."""
+        pooled: List[float] = []
+        for stream in self.streams:
+            pooled.extend(stream.samples)
+        return pooled
+
+    @property
+    def measured_ops(self) -> int:
+        return sum(stream.measured_ops for stream in self.streams)
+
+    @property
+    def makespan_ns(self) -> float:
+        """Measured-window span: first mark to last completion."""
+        marked = [s for s in self.streams if s.measured_ops]
+        if not marked:
+            return 0.0
+        return max(s.end_ns for s in marked) - min(s.mark_ns for s in marked)
+
+    @property
+    def throughput_ops_per_s(self) -> float:
+        span = self.makespan_ns
+        if span <= 0.0:
+            return 0.0
+        return self.measured_ops / span * 1e9
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "scheme": self.scheme,
+            "policy": self.policy,
+            "streams": [stream.to_dict() for stream in self.streams],
+            "measured_ops": self.measured_ops,
+            "makespan_ns": self.makespan_ns,
+            "throughput_ops_per_s": self.throughput_ops_per_s,
+            "mc_queue": self.mc_queue,
+            "ott_queue": self.ott_queue,
+            "interleave_digest": self.interleave_digest,
+            "service_stats": dict(self.service_stats),
+        }
+
+
+def capture_streams(config: MachineConfig, workloads: Sequence) -> MultiStreamTrace:
+    """Capture each workload into one stream of a :class:`MultiStreamTrace`.
+
+    Capture uses a scratch machine per stream purely for address-layout
+    mirroring; nothing is executed on it.  Raises when a workload steps
+    outside the traceable API (multi-process workloads, direct machine
+    surgery) — the service model cannot interleave what it cannot
+    capture, and a silent drop would fabricate a lighter mix.
+    """
+    from .batch import capture_workload
+
+    if not workloads:
+        raise ValueError("a service run needs at least one stream")
+    streams: List[Trace] = []
+    for workload in workloads:
+        machine = Machine(config)
+        workload.setup(machine)
+        trace = capture_workload(machine, workload)
+        if trace is None:
+            raise ValueError(
+                f"workload {workload.name!r} is not capturable; the service "
+                "model only runs trace-expressible streams"
+            )
+        streams.append(trace)
+    name = "+".join(w.name for w in workloads)
+    return MultiStreamTrace.from_traces(name=name, streams=streams)
+
+
+def run_service(
+    config: MachineConfig,
+    workloads: Sequence,
+    policy: ArrivalPolicy,
+    *,
+    registry: Optional[StatsRegistry] = None,
+) -> ServiceResult:
+    """Run N workload streams concurrently through shared queues.
+
+    Each entry of ``workloads`` must be a *fresh* workload instance (it
+    is captured, then its ops replayed on the stream's machine).  The
+    returned per-stream :class:`RunResult` for a 1-stream closed-loop
+    run is bit-identical to ``run_workload`` under the same config.
+    """
+    from .batch import capture_workload
+
+    queues = ServiceQueues(registry=registry)
+    streams: List[_Stream] = []
+    for sid, workload in enumerate(workloads):
+        machine = Machine(config)
+        machine.attach_service_queues(queues, stream_id=sid)
+        workload.setup(machine)
+        trace = capture_workload(machine, workload)
+        if trace is None:
+            raise ValueError(
+                f"workload {workload.name!r} is not capturable; the service "
+                "model only runs trace-expressible streams"
+            )
+        streams.append(_Stream(sid, trace, machine, policy, queues.registry))
+
+    digest = hashlib.sha256()
+    open_policy = policy if isinstance(policy, OpenLoop) else None
+
+    while True:
+        best: Optional[_Stream] = None
+        best_key = None
+        for stream in streams:
+            if stream.done():
+                continue
+            key = (stream.ready_ns(), stream.sid)
+            if best_key is None or key < best_key:
+                best, best_key = stream, key
+        if best is None:
+            break
+
+        op = best.ops[best.index]
+        machine = best.machine
+        measured = best.measuring and op.op in _MEASURED_OPS
+        issue = best.issue_ns() if measured else machine.clock_ns
+        if issue > machine.clock_ns:
+            # The stream is idle until its request arrives (open loop)
+            # or its window opens (closed loop).
+            machine.clock_ns = issue
+        start = issue if issue < machine.clock_ns else machine.clock_ns
+
+        best.cursor.apply(op)
+        completion = machine.clock_ns
+        best.stats.add("ops")
+        digest.update(
+            f"{best.sid}:{best.index}:{op.op}:{completion!r};".encode()
+        )
+        best.index += 1
+
+        if measured:
+            sample = completion - start
+            best.samples.append(sample)
+            best.histogram.record(sample)
+            best.stats.add("measured_ops")
+            best.end_ns = completion
+            if best.completions is not None:
+                best.completions.append(completion)
+            elif open_policy is not None:
+                best.next_arrival_ns = start + best._gap_ns(open_policy)
+        elif op.op == MARK:
+            best.measuring = True
+            best.mark_ns = completion
+            best.end_ns = completion
+            if open_policy is not None:
+                best.next_arrival_ns = completion + best._gap_ns(open_policy)
+
+    results = [
+        StreamServiceResult(
+            sid=stream.sid,
+            workload=stream.workload_name,
+            run=stream.machine.result(stream.workload_name),
+            samples=stream.samples,
+            histogram=stream.histogram,
+            measured_ops=stream.stats.get("measured_ops"),
+            mark_ns=stream.mark_ns,
+            end_ns=stream.end_ns,
+        )
+        for stream in streams
+    ]
+    return ServiceResult(
+        name="+".join(stream.workload_name for stream in streams),
+        scheme=config.scheme.value,
+        policy=policy.describe(),
+        streams=results,
+        mc_queue=queues.mc.summary(),
+        ott_queue=queues.ott.summary(),
+        interleave_digest=digest.hexdigest(),
+        service_stats=dict(queues.registry.snapshot()),
+    )

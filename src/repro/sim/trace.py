@@ -19,6 +19,13 @@ File format: line one is a header (``{"name": ..., "version": 2}``),
 then one JSON object per op.  Version 1 files (no ``version`` key, no
 ``ns``/``uid`` fields) still load; they replay with v1 fidelity —
 compute times truncated to whole ns and mmap bound to the last handle.
+
+Ops optionally carry a stream id (``sid``; default 0) so one file can
+hold several concurrent streams' operations: :class:`MultiStreamTrace`
+groups per-stream traces for the concurrent-traffic service model
+(:mod:`repro.sim.service`), which interleaves them by virtual time
+under a closed-loop or open-loop arrival policy.  Single-stream files
+never emit the field, so v2 consumers keep working unchanged.
 """
 
 from __future__ import annotations
@@ -30,7 +37,15 @@ from typing import Dict, List, Optional
 
 from .machine import Machine
 
-__all__ = ["TraceOp", "Trace", "TraceRecorder", "replay", "resolve_mmap_handle"]
+__all__ = [
+    "TraceOp",
+    "Trace",
+    "MultiStreamTrace",
+    "TraceRecorder",
+    "TraceCursor",
+    "replay",
+    "resolve_mmap_handle",
+]
 
 #: Current trace-file format.  v2 added the exact ``ns`` on compute ops
 #: and the originating handle's ``path``/``uid`` on mmap ops.
@@ -55,6 +70,9 @@ class TraceOp:
     compute:            (size=int(ns), ns=exact ns)
     create/open:        (path, addr=uid, size=mode/writable, flag=encrypted)
     mmap:               (path, uid, size=pages, addr=file_page_start)
+
+    ``sid`` names the stream the op belongs to (0 = the sole stream of
+    a classic single-stream trace).
     """
 
     op: str
@@ -64,6 +82,7 @@ class TraceOp:
     flag: bool = False
     ns: float = 0.0
     uid: int = 0
+    sid: int = 0
 
     def to_json(self) -> str:
         payload = {"op": self.op, "addr": self.addr, "size": self.size,
@@ -74,6 +93,8 @@ class TraceOp:
             payload["ns"] = self.ns
         if self.uid:
             payload["uid"] = self.uid
+        if self.sid:
+            payload["sid"] = self.sid
         return json.dumps(payload)
 
     @classmethod
@@ -81,7 +102,8 @@ class TraceOp:
         raw = json.loads(line)
         return cls(op=raw["op"], addr=raw["addr"], size=raw["size"],
                    path=raw["path"], flag=raw["flag"],
-                   ns=float(raw.get("ns", 0.0)), uid=int(raw.get("uid", 0)))
+                   ns=float(raw.get("ns", 0.0)), uid=int(raw.get("uid", 0)),
+                   sid=int(raw.get("sid", 0)))
 
 
 @dataclass
@@ -199,6 +221,48 @@ def resolve_mmap_handle(op: TraceOp, handles: Dict[str, object], last_handle):
     return last_handle
 
 
+class TraceCursor:
+    """Applies trace ops to one machine, carrying the handle state the
+    ops reference between calls.
+
+    :func:`replay` drives a cursor straight through a trace; the
+    service model (:mod:`repro.sim.service`) drives one cursor per
+    stream, one op at a time, in virtual-time order.  Sharing the op
+    switch here is what guarantees the two paths execute identically.
+    """
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self._handles: Dict[str, object] = {}
+        self._last_handle = None
+
+    def apply(self, op: TraceOp) -> None:
+        machine = self.machine
+        if op.op == LOAD:
+            machine.load(op.addr, op.size)
+        elif op.op == STORE:
+            machine.store(op.addr, op.size)
+        elif op.op == PERSIST:
+            machine.persist(op.addr, op.size)
+        elif op.op == COMPUTE:
+            machine.compute(op.ns if op.ns else float(op.size))
+        elif op.op == CREATE:
+            self._last_handle = machine.create_file(
+                op.path, uid=op.addr, mode=op.size, encrypted=op.flag
+            )
+            self._handles[op.path] = self._last_handle
+        elif op.op == OPEN:
+            self._last_handle = machine.open_file(op.path, uid=op.addr, write=op.flag)
+            self._handles[op.path] = self._last_handle
+        elif op.op == MMAP:
+            handle = resolve_mmap_handle(op, self._handles, self._last_handle)
+            machine.mmap(handle, pages=op.size, file_page_start=op.addr)
+        elif op.op == MARK:
+            machine.mark_measurement_start()
+        else:
+            raise ValueError(f"unknown trace op {op.op!r}")
+
+
 def replay(trace: Trace, machine: Machine) -> None:
     """Re-execute a trace on a fresh machine.
 
@@ -208,29 +272,78 @@ def replay(trace: Trace, machine: Machine) -> None:
     touched a single file; with several files in play that guess could
     silently map the wrong one, so it raises instead.
     """
-    handles: Dict[str, object] = {}
-    last_handle = None
+    cursor = TraceCursor(machine)
     for op in trace.ops:
-        if op.op == CREATE:
-            last_handle = machine.create_file(
-                op.path, uid=op.addr, mode=op.size, encrypted=op.flag
+        cursor.apply(op)
+
+
+@dataclass
+class MultiStreamTrace:
+    """Per-stream traces destined for one concurrent service run.
+
+    Stream ``k`` is ``streams[k]``; each holds the classic
+    single-stream op sequence one client issues.  The *interleaving* of
+    the streams is not fixed here — it is produced by the service
+    model's scheduler under an arrival policy (closed-loop MLP window
+    or open-loop seeded inter-arrival process; see
+    :mod:`repro.sim.service`) — but the container round-trips through
+    the JSONL format by tagging every op with its ``sid``.
+    """
+
+    name: str
+    streams: List[Trace] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.streams)
+
+    @property
+    def total_ops(self) -> int:
+        return sum(len(stream) for stream in self.streams)
+
+    def tagged_ops(self) -> List[TraceOp]:
+        """All ops with their ``sid`` stamped, stream-major order."""
+        from dataclasses import replace
+
+        ops: List[TraceOp] = []
+        for sid, stream in enumerate(self.streams):
+            for op in stream.ops:
+                ops.append(op if op.sid == sid else replace(op, sid=sid))
+        return ops
+
+    def save(self, path: Path) -> None:
+        with open(path, "w") as fh:
+            fh.write(
+                json.dumps(
+                    {"name": self.name, "version": TRACE_VERSION,
+                     "streams": len(self.streams)}
+                )
+                + "\n"
             )
-            handles[op.path] = last_handle
-        elif op.op == OPEN:
-            last_handle = machine.open_file(op.path, uid=op.addr, write=op.flag)
-            handles[op.path] = last_handle
-        elif op.op == MMAP:
-            handle = resolve_mmap_handle(op, handles, last_handle)
-            machine.mmap(handle, pages=op.size, file_page_start=op.addr)
-        elif op.op == LOAD:
-            machine.load(op.addr, op.size)
-        elif op.op == STORE:
-            machine.store(op.addr, op.size)
-        elif op.op == PERSIST:
-            machine.persist(op.addr, op.size)
-        elif op.op == COMPUTE:
-            machine.compute(op.ns if op.ns else float(op.size))
-        elif op.op == MARK:
-            machine.mark_measurement_start()
-        else:
-            raise ValueError(f"unknown trace op {op.op!r}")
+            for op in self.tagged_ops():
+                fh.write(op.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: Path) -> "MultiStreamTrace":
+        with open(path) as fh:
+            header = json.loads(fh.readline())
+            ops = [TraceOp.from_json(line) for line in fh if line.strip()]
+        count = int(header.get("streams", 0)) or (
+            max((op.sid for op in ops), default=0) + 1
+        )
+        streams = [
+            Trace(name=f"{header['name']}#{sid}") for sid in range(count)
+        ]
+        for op in ops:
+            if not 0 <= op.sid < count:
+                raise ValueError(
+                    f"trace op names stream {op.sid} but the file declares "
+                    f"{count} stream(s)"
+                )
+            streams[op.sid].append(op)
+        return cls(name=header["name"], streams=streams)
+
+    @classmethod
+    def from_traces(cls, name: str, traces: List[Trace]) -> "MultiStreamTrace":
+        if not traces:
+            raise ValueError("a MultiStreamTrace needs at least one stream")
+        return cls(name=name, streams=list(traces))

@@ -5,7 +5,15 @@ a PMDK-style pool allocator, driven by the PMEMKV, Whisper, and in-house
 micro-benchmark patterns the paper evaluates.
 """
 
-from .base import Workload, WorkloadComparison, compare_schemes, run_workload
+from .base import (
+    StreamSpec,
+    Workload,
+    WorkloadComparison,
+    compare_schemes,
+    parse_stream_mix,
+    run_workload,
+    stream_factories,
+)
 from .btree import PersistentBTree
 from .ctree import PersistentCritbitTree
 from .dax_micro import (
@@ -48,6 +56,9 @@ __all__ = [
     "WorkloadComparison",
     "run_workload",
     "compare_schemes",
+    "StreamSpec",
+    "parse_stream_mix",
+    "stream_factories",
     "PersistentAllocator",
     "PoolExhausted",
     "PersistentBTree",

@@ -12,16 +12,25 @@ difference in the result is the scheme's.
 from __future__ import annotations
 
 import random
+import re
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..sim.config import MachineConfig, Scheme
 from ..sim.machine import Machine
 from ..sim.results import Comparison, ResultTable, RunResult
 from ..sim.schemes import SchemeRef, canonical_scheme_name, get_scheme
 
-__all__ = ["Workload", "run_workload", "compare_schemes", "WorkloadComparison"]
+__all__ = [
+    "Workload",
+    "run_workload",
+    "compare_schemes",
+    "WorkloadComparison",
+    "StreamSpec",
+    "parse_stream_mix",
+    "stream_factories",
+]
 
 _DEFAULT_UID = 1000
 _DEFAULT_GID = 100
@@ -81,6 +90,102 @@ def run_workload(
     workload.setup(machine)
     workload.run(machine)
     return machine.result(workload.name)
+
+
+# ----------------------------------------------------------------------
+# Stream mixes: workloads as concurrent-traffic stream factories
+# ----------------------------------------------------------------------
+
+#: Seed stride between streams of one spec: stream 0 keeps the factory
+#: seed exactly (a 1-stream mix reproduces the classic run), later
+#: streams get distinct-but-deterministic offsets.
+_STREAM_SEED_STRIDE = 101
+
+_MIX_PART = re.compile(r"(?:(\d+)[x×])?(.+)")
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """``count`` concurrent streams of one named workload.
+
+    ``workload`` is a benchmark name the experiment layer resolves
+    (``"Fillseq-S"``, ``"Hashmap"``, ``"DAX-2"``, ``"ManyFiles@10"``,
+    ...); ``ops``/``iterations``/``seed`` override factory defaults the
+    same way :class:`~repro.exec.spec.CellSpec` fields do (0 / ``None``
+    = default).
+    """
+
+    workload: str
+    count: int = 1
+    ops: int = 0
+    iterations: int = 0
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.workload:
+            raise ValueError("stream spec needs a workload name")
+        if self.count < 1:
+            raise ValueError(f"stream count must be >= 1, got {self.count}")
+
+
+def parse_stream_mix(mix: str) -> Tuple[StreamSpec, ...]:
+    """Parse ``"3xFillseq-S+2xHashmap"`` into stream specs.
+
+    Each ``+``-separated part is ``[Nx]<workload>``; a missing
+    multiplier means one stream.  The workload names themselves are not
+    validated here — resolution happens when factories are built, so a
+    typo fails loudly there with the resolver's error.
+    """
+    specs = []
+    for part in mix.split("+"):
+        part = part.strip()
+        if not part:
+            raise ValueError(f"empty stream spec in mix {mix!r}")
+        match = _MIX_PART.fullmatch(part)
+        assert match is not None  # (.+) matches any non-empty part
+        count = int(match.group(1)) if match.group(1) else 1
+        specs.append(StreamSpec(workload=match.group(2), count=count))
+    if not specs:
+        raise ValueError("a stream mix needs at least one stream")
+    return tuple(specs)
+
+
+def stream_factories(
+    mix: "str | Iterable[StreamSpec]",
+) -> List[Callable[[], Workload]]:
+    """One fresh-workload factory per concurrent stream of a mix.
+
+    Streams of the same spec get deterministically distinct seeds
+    (factory default + ``_STREAM_SEED_STRIDE`` × stream index within
+    the spec) so "3× pmemkv" means three clients with decorrelated
+    access patterns, not three lockstep clones.  Stream 0 of every spec
+    keeps the factory seed exactly, so a 1-stream mix reproduces the
+    classic single-stream workload bit-for-bit.
+    """
+    # Resolution lives in the experiment layer; imported lazily because
+    # exec.spec imports this module's run_workload at execution time.
+    from ..exec.spec import resolve_workload
+
+    if isinstance(mix, str):
+        mix = parse_stream_mix(mix)
+    factories: List[Callable[[], Workload]] = []
+    for spec in mix:
+        base_factory = resolve_workload(
+            spec.workload, ops=spec.ops, iterations=spec.iterations, seed=spec.seed
+        )
+        base_seed = base_factory().seed
+        for index in range(spec.count):
+            factories.append(
+                resolve_workload(
+                    spec.workload,
+                    ops=spec.ops,
+                    iterations=spec.iterations,
+                    seed=base_seed + _STREAM_SEED_STRIDE * index,
+                )
+            )
+    if not factories:
+        raise ValueError("a stream mix needs at least one stream")
+    return factories
 
 
 @dataclass

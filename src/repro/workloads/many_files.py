@@ -13,6 +13,8 @@ than by any paper figure.
 
 from __future__ import annotations
 
+import random
+
 from ..mem.address import PAGE_SIZE
 from ..sim.machine import Machine
 from .base import Workload
@@ -21,7 +23,16 @@ __all__ = ["ManyFilesWorkload"]
 
 
 class ManyFilesWorkload(Workload):
-    """Create ``num_files`` encrypted files; touch them round-robin."""
+    """Create ``num_files`` encrypted files; touch them round-robin.
+
+    ``churn`` turns on open/close pressure: each round, that fraction
+    of the files (deterministically chosen from a dedicated seeded
+    schedule) is re-opened and re-mapped before being touched, so the
+    measured window pays syscall, fault, and key-lookup costs the way a
+    multi-tenant server with short-lived file sessions would.  The
+    schedule RNG is separate from the touch RNG and is never drawn when
+    ``churn`` is 0, so the default op stream is unchanged.
+    """
 
     name = "ManyFiles"
 
@@ -32,29 +43,51 @@ class ManyFilesWorkload(Workload):
         pages_per_file: int = 2,
         touches_per_round: int = 2,
         seed: int = 11,
+        churn: float = 0.0,
     ) -> None:
         super().__init__(seed=seed)
         if min(num_files, rounds, pages_per_file, touches_per_round) < 1:
             raise ValueError("all workload dimensions must be positive")
+        if not 0.0 <= churn <= 1.0:
+            raise ValueError(f"churn must be in [0, 1], got {churn!r}")
         self.num_files = num_files
         self.rounds = rounds
         self.pages_per_file = pages_per_file
         self.touches_per_round = touches_per_round
+        self.churn = churn
+
+    def _churn_rng(self) -> random.Random:
+        # Distinct from the touch RNG so enabling churn perturbs the
+        # reopen schedule without re-rolling the access offsets.
+        return random.Random((self.seed << 8) ^ 0xC4)
+
+    def churn_schedule(self):
+        """Per-round file indices to re-open; deterministic in the seed."""
+        per_round = int(self.churn * self.num_files)
+        rng = self._churn_rng()
+        return [
+            sorted(rng.sample(range(self.num_files), per_round))
+            for _ in range(self.rounds)
+        ]
 
     def run(self, machine: Machine) -> None:
         encrypted = machine.config.scheme.has_file_encryption
+        paths = [f"/pmem/shard-{index:04d}.dat" for index in range(self.num_files)]
         bases = []
-        for index in range(self.num_files):
-            handle = machine.create_file(
-                f"/pmem/shard-{index:04d}.dat", uid=self.uid, encrypted=encrypted
-            )
+        for index, path in enumerate(paths):
+            handle = machine.create_file(path, uid=self.uid, encrypted=encrypted)
             base = machine.mmap(handle, pages=self.pages_per_file)
             bases.append(base)
         machine.mark_measurement_start()
 
         rng = self.rng()
+        schedule = self.churn_schedule() if self.churn else None
         span = self.pages_per_file * PAGE_SIZE
-        for _ in range(self.rounds):
+        for round_index in range(self.rounds):
+            if schedule is not None:
+                for index in schedule[round_index]:
+                    handle = machine.open_file(paths[index], uid=self.uid, write=True)
+                    bases[index] = machine.mmap(handle, pages=self.pages_per_file)
             for base in bases:
                 for _ in range(self.touches_per_round):
                     offset = rng.randrange(0, span - 64, 64)
